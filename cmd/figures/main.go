@@ -1,0 +1,76 @@
+// Command figures regenerates every figure of the paper's evaluation
+// section. Each figure prints as an aligned text table; EXPERIMENTS.md
+// records the measured outputs next to the paper's reported numbers.
+//
+// Usage:
+//
+//	figures [-scale bench|default|paper] [-fig 3|4|6|7|8|9|10|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/rlb-project/rlb/internal/harness"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "fabric scale: bench, default, or paper")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 6, 7, 8, 9, 10, irn, or all")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	scale, ok := harness.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q (want bench, default, paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	printed := false
+	emit := func(tables ...*harness.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Println(t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+		printed = true
+	}
+
+	start := time.Now()
+	if want("3") {
+		emit(harness.Fig3(scale, *seed))
+	}
+	if want("4") {
+		emit(harness.Fig4Paths(scale, *seed), harness.Fig4Bursts(scale, *seed))
+	}
+	if want("6") {
+		emit(harness.Fig6(scale, *seed))
+	}
+	if want("7") {
+		emit(harness.Fig7(scale, *seed)...)
+	}
+	if want("8") {
+		emit(harness.Fig8Degree(scale, *seed), harness.Fig8Size(scale, *seed))
+	}
+	if want("9") {
+		emit(harness.Fig9(scale, *seed)...)
+	}
+	if want("10") {
+		emit(harness.Fig10Qth(scale, *seed), harness.Fig10DeltaT(scale, *seed))
+	}
+	if want("irn") {
+		emit(harness.ExtIRN(scale, *seed))
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("done: scale=%s figs=%s wall=%s\n", scale.Name, strings.TrimSpace(*fig), time.Since(start).Round(time.Millisecond))
+}

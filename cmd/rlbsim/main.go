@@ -1,0 +1,129 @@
+// Command rlbsim runs one simulation scenario and prints its metrics — the
+// quick way to poke at a configuration without the full figure harness.
+//
+// Usage examples:
+//
+//	rlbsim -scheme drill -workload websearch -load 0.6
+//	rlbsim -scheme drill+rlb -workload datamining -load 0.4 -asym
+//	rlbsim -scheme presto+rlb -leaves 4 -spines 6 -hosts 6 -duration 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/rlb-project/rlb/internal/core"
+	"github.com/rlb-project/rlb/internal/harness"
+	"github.com/rlb-project/rlb/internal/metrics"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/trace"
+	"github.com/rlb-project/rlb/internal/units"
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", "drill+rlb", "load balancer: ecmp|presto|letflow|hermes|drill, optionally +rlb")
+	wl := flag.String("workload", "websearch", "workload: webserver|cachefollower|websearch|datamining")
+	load := flag.Float64("load", 0.5, "offered load fraction of host line rate")
+	leaves := flag.Int("leaves", 4, "number of leaf switches")
+	spines := flag.Int("spines", 6, "number of spine switches")
+	hosts := flag.Int("hosts", 6, "hosts per leaf")
+	gbps := flag.Int("gbps", 10, "link rate in Gb/s")
+	duration := flag.Duration("duration", 5*time.Millisecond, "traffic generation window")
+	drain := flag.Duration("drain", 15*time.Millisecond, "extra drain time after generation stops")
+	asym := flag.Bool("asym", false, "downgrade 20% of leaf-spine links to quarter rate")
+	capBytes := flag.Int("cap", 5_000_000, "max flow size in bytes (0 = uncapped)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 1, "number of seeds to run and average")
+	noGuard := flag.Bool("noguard", false, "RLB ablation: disable the flow-order guard")
+	noRecirc := flag.Bool("norecirc", false, "RLB ablation: disable packet recirculation")
+	traceN := flag.Int("trace", 0, "record the last N control-plane events and dump them")
+	probe := flag.Duration("probe", 0, "use in-band probe telemetry at this interval instead of oracle path state (0 = oracle)")
+	flag.Parse()
+
+	dist, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlbsim:", err)
+		os.Exit(2)
+	}
+	scale := harness.Scale{
+		Name: "custom", Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts,
+		LinkRate: units.Bandwidth(*gbps) * units.Gbps, LinkDelay: 2 * sim.Microsecond,
+		Duration: sim.FromStd(*duration), Drain: sim.FromStd(*drain),
+	}
+	p := scale.TopoParams()
+	if *asym {
+		p = scale.AsymTopoParams()
+	}
+	if *probe > 0 {
+		p.ProbeInterval = sim.FromStd(*probe)
+	}
+	var buf *trace.Buffer
+	if *traceN > 0 {
+		buf = trace.NewBuffer(*traceN)
+		// Data-plane arrivals/departures would drown the buffer; keep the
+		// control-plane story (pauses, warnings, recirculations, drops).
+		buf.Filter = func(e trace.Event) bool {
+			return e.Kind != trace.DataArrive && e.Kind != trace.DataDepart
+		}
+		p.Trace = buf
+	}
+	rlbParams := core.DefaultParams(p.LinkDelay)
+	rlbParams.DisableOrderGuard = *noGuard
+	rlbParams.DisableRecirculation = *noRecirc
+	sch, err := harness.SchemeByName(*scheme, p.LinkDelay, &rlbParams)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlbsim:", err)
+		os.Exit(2)
+	}
+	sch.Apply(&p)
+
+	var cfgs []harness.RunConfig
+	for i := 0; i < *seeds; i++ {
+		cfgs = append(cfgs, harness.RunConfig{
+			Topo: p, Workload: dist, Load: *load, MaxFlowBytes: *capBytes,
+			Duration: scale.Duration, Drain: scale.Drain, Seed: *seed + uint64(i)*1000,
+		})
+	}
+	results := harness.RunAll(cfgs)
+	if *seeds > 1 {
+		var afct, p50, p99, ooo metrics.Digest
+		for _, res := range results {
+			afct.Add(res.Report.AvgFCTms())
+			p50.Add(res.Report.FCT.Percentile(50))
+			p99.Add(res.Report.TailFCTms())
+			ooo.Add(100 * res.Report.OOORatio())
+		}
+		fmt.Printf("scheme=%s workload=%s load=%.2f seeds=%d\n", sch.Name, dist.Name, *load, *seeds)
+		fmt.Printf("avg over seeds: afct=%.4gms p50=%.4gms p99=%.4gms ooo=%.3g%%\n",
+			afct.Mean(), p50.Mean(), p99.Mean(), ooo.Mean())
+		return
+	}
+	res := results[0]
+	r := res.Report
+	fmt.Printf("scheme=%s workload=%s load=%.2f fabric=%dx%d/%d @%s%s\n",
+		sch.Name, dist.Name, *load, *leaves, *spines, *hosts, p.LinkRate, map[bool]string{true: " (asym)", false: ""}[*asym])
+	fmt.Printf("flows:      %d generated, %d completed\n", r.Flows, r.Completed)
+	fmt.Printf("fct:        %s\n", r.FCT.Summary("ms"))
+	fmt.Printf("small fct:  %s\n", r.SmallFCT.Summary("ms"))
+	fmt.Printf("large fct:  %s\n", r.LargeFCT.Summary("ms"))
+	fmt.Printf("reordering: %.3f%% of %d received frames; p99 OOD %.0f pkts\n",
+		100*r.OOORatio(), r.TotalRcvd, r.OOD.Percentile(99))
+	fmt.Printf("retx:       %.3f%% of %d sent frames\n", 100*r.RetxRatio(), r.TotalSent)
+	fmt.Printf("pfc:        %d PAUSE frames (%.1f/ms), %d drops\n",
+		res.Pauses, metrics.PauseRate(res.Pauses, res.SimTime), res.Drops)
+	fmt.Printf("rlb:        %d warnings accepted, %d recirculations\n", res.Warnings, res.Recircs)
+	if res.Agents.PicksTotal > 0 {
+		a := res.Agents
+		fmt.Printf("rlb picks:  %d total, %d warned, %d reroutes, %d recircs (+%d order, %d sticky), %d orderstay, %d staycheap, %d fallback\n",
+			a.PicksTotal, a.PicksWarned, a.Reroutes, a.Recircs, a.OrderRecircs, a.DivertSticky, a.OrderStays, a.StayCheaper, a.Fallbacks)
+	}
+	fmt.Printf("wall:       %s for %v simulated\n", res.Wall.Round(time.Millisecond), res.SimTime)
+	if buf != nil {
+		fmt.Printf("\ntrace:      %d events recorded (%s)\n", buf.Total(), buf.Summary())
+		fmt.Printf("last %d control-plane events:\n", buf.Len())
+		_ = buf.Dump(os.Stdout)
+	}
+}

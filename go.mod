@@ -1,0 +1,3 @@
+module github.com/rlb-project/rlb
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package dcqcn implements the DCQCN congestion-control algorithm (Zhu et
+// al., SIGCOMM 2015), the default transport protocol in the paper's
+// evaluation. The congestion point (CP) is the switch's RED/ECN marking
+// (internal/switchsim); the notification point (NP) lives in the receiver
+// (internal/transport), which emits at most one CNP per flow per CNPInterval;
+// this package provides the reaction point (RP): the per-flow rate machine
+// at the sender.
+package dcqcn
+
+import (
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+// Config holds the RP/NP parameters. Defaults follow the DCQCN paper's
+// recommended values, as the paper specifies ("parameters are set to the
+// default values recommended in [2]").
+type Config struct {
+	// G is the alpha EWMA gain.
+	G float64
+	// AlphaTimer is the alpha-decay period when no CNP arrives (55 us).
+	AlphaTimer sim.Time
+	// RateTimer is the rate-increase timer period (55 us).
+	RateTimer sim.Time
+	// ByteCounter triggers a rate-increase event every this many bytes.
+	ByteCounter int
+	// F is the number of fast-recovery iterations before additive increase.
+	F int
+	// RateAI / RateHAI are the additive and hyper increase steps.
+	RateAI  units.Bandwidth
+	RateHAI units.Bandwidth
+	// MinRate floors the sending rate.
+	MinRate units.Bandwidth
+	// CNPInterval rate-limits CNP generation at the NP (50 us).
+	CNPInterval sim.Time
+}
+
+// DefaultConfig returns the DCQCN paper's recommended parameters.
+func DefaultConfig() Config {
+	return Config{
+		G:           1.0 / 16.0,
+		AlphaTimer:  55 * sim.Microsecond,
+		RateTimer:   55 * sim.Microsecond,
+		ByteCounter: 10 * 1000 * 1000,
+		F:           5,
+		RateAI:      40 * units.Mbps,
+		RateHAI:     200 * units.Mbps,
+		MinRate:     10 * units.Mbps,
+		CNPInterval: 50 * sim.Microsecond,
+	}
+}
+
+// RP is the DCQCN reaction point for one flow. It owns its timers on the
+// simulation engine; call Close when the flow completes to cancel them.
+type RP struct {
+	eng  *sim.Engine
+	cfg  Config
+	line units.Bandwidth
+
+	rc    float64 // current rate, bits/s
+	rt    float64 // target rate
+	alpha float64
+
+	bytesSinceEvent int
+	timerEvents     int // rate-timer expirations since last CNP
+	byteEvents      int // byte-counter expirations since last CNP
+
+	alphaTimer *sim.Timer
+	rateTimer  *sim.Timer
+
+	// CNPs counts congestion notifications received (stats).
+	CNPs uint64
+}
+
+// NewRP returns a reaction point starting at line rate, with timers armed.
+func NewRP(eng *sim.Engine, cfg Config, line units.Bandwidth) *RP {
+	rp := &RP{
+		eng:   eng,
+		cfg:   cfg,
+		line:  line,
+		rc:    float64(line),
+		rt:    float64(line),
+		alpha: 1.0,
+	}
+	rp.armAlphaTimer()
+	rp.armRateTimer()
+	return rp
+}
+
+// Rate returns the current allowed sending rate.
+func (rp *RP) Rate() units.Bandwidth {
+	r := units.Bandwidth(rp.rc)
+	if r < rp.cfg.MinRate {
+		return rp.cfg.MinRate
+	}
+	if r > rp.line {
+		return rp.line
+	}
+	return r
+}
+
+// Alpha returns the current congestion estimate (for tests/inspection).
+func (rp *RP) Alpha() float64 { return rp.alpha }
+
+// Close cancels the RP's timers.
+func (rp *RP) Close() {
+	if rp.alphaTimer != nil {
+		rp.alphaTimer.Stop()
+	}
+	if rp.rateTimer != nil {
+		rp.rateTimer.Stop()
+	}
+}
+
+// OnCNP applies the DCQCN rate cut: remember the target, multiplicatively
+// decrease, raise alpha, and restart the increase machinery.
+func (rp *RP) OnCNP() {
+	rp.CNPs++
+	rp.rt = rp.rc
+	rp.rc = rp.rc * (1 - rp.alpha/2)
+	if rp.rc < float64(rp.cfg.MinRate) {
+		rp.rc = float64(rp.cfg.MinRate)
+	}
+	rp.alpha = (1-rp.cfg.G)*rp.alpha + rp.cfg.G
+	rp.timerEvents = 0
+	rp.byteEvents = 0
+	rp.bytesSinceEvent = 0
+	rp.armAlphaTimer()
+	rp.armRateTimer()
+}
+
+// NotifySent informs the byte counter that n bytes left the sender.
+func (rp *RP) NotifySent(n int) {
+	rp.bytesSinceEvent += n
+	for rp.bytesSinceEvent >= rp.cfg.ByteCounter {
+		rp.bytesSinceEvent -= rp.cfg.ByteCounter
+		rp.byteEvents++
+		rp.increase()
+	}
+}
+
+func (rp *RP) armAlphaTimer() {
+	if rp.alphaTimer != nil {
+		rp.alphaTimer.Stop()
+	}
+	rp.alphaTimer = rp.eng.After(rp.cfg.AlphaTimer, func() {
+		// No CNP for a full period: decay the congestion estimate.
+		rp.alpha = (1 - rp.cfg.G) * rp.alpha
+		rp.armAlphaTimer()
+	})
+}
+
+func (rp *RP) armRateTimer() {
+	if rp.rateTimer != nil {
+		rp.rateTimer.Stop()
+	}
+	rp.rateTimer = rp.eng.After(rp.cfg.RateTimer, func() {
+		rp.timerEvents++
+		rp.increase()
+		rp.armRateTimer()
+	})
+}
+
+// increase performs one rate-increase event: fast recovery toward the target
+// for the first F events, then additive (one side past F) or hyper (both
+// sides past F) target growth, always averaging rc toward rt.
+func (rp *RP) increase() {
+	minEv := rp.timerEvents
+	if rp.byteEvents < minEv {
+		minEv = rp.byteEvents
+	}
+	maxEv := rp.timerEvents
+	if rp.byteEvents > maxEv {
+		maxEv = rp.byteEvents
+	}
+	switch {
+	case minEv > rp.cfg.F:
+		i := minEv - rp.cfg.F
+		rp.rt += float64(i) * float64(rp.cfg.RateHAI)
+	case maxEv > rp.cfg.F:
+		rp.rt += float64(rp.cfg.RateAI)
+	}
+	if rp.rt > float64(rp.line) {
+		rp.rt = float64(rp.line)
+	}
+	rp.rc = (rp.rt + rp.rc) / 2
+	if rp.rc > float64(rp.line) {
+		rp.rc = float64(rp.line)
+	}
+}

@@ -1,0 +1,158 @@
+package dcqcn
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+func newTestRP() (*sim.Engine, *RP) {
+	eng := sim.NewEngine()
+	rp := NewRP(eng, DefaultConfig(), 40*units.Gbps)
+	return eng, rp
+}
+
+func TestStartsAtLineRate(t *testing.T) {
+	_, rp := newTestRP()
+	defer rp.Close()
+	if rp.Rate() != 40*units.Gbps {
+		t.Fatalf("initial rate %v", rp.Rate())
+	}
+	if rp.Alpha() != 1.0 {
+		t.Fatalf("initial alpha %v", rp.Alpha())
+	}
+}
+
+func TestCNPCutsRate(t *testing.T) {
+	_, rp := newTestRP()
+	defer rp.Close()
+	rp.OnCNP()
+	// alpha=1 -> cut by half.
+	if rp.Rate() != 20*units.Gbps {
+		t.Fatalf("rate after first CNP = %v, want 20Gbps", rp.Rate())
+	}
+	if rp.CNPs != 1 {
+		t.Fatalf("CNPs = %d", rp.CNPs)
+	}
+}
+
+func TestRepeatedCNPsFloorAtMinRate(t *testing.T) {
+	_, rp := newTestRP()
+	defer rp.Close()
+	for i := 0; i < 100; i++ {
+		rp.OnCNP()
+	}
+	if rp.Rate() != DefaultConfig().MinRate {
+		t.Fatalf("rate = %v, want floor %v", rp.Rate(), DefaultConfig().MinRate)
+	}
+}
+
+func TestAlphaDecaysWithoutCNP(t *testing.T) {
+	eng, rp := newTestRP()
+	defer rp.Close()
+	rp.OnCNP()
+	a0 := rp.Alpha()
+	eng.RunUntil(sim.Millisecond)
+	if rp.Alpha() >= a0 {
+		t.Fatalf("alpha did not decay: %v -> %v", a0, rp.Alpha())
+	}
+}
+
+func TestFastRecoveryApproachesTarget(t *testing.T) {
+	eng, rp := newTestRP()
+	defer rp.Close()
+	rp.OnCNP() // rt=40G, rc=20G
+	// After a few rate-timer periods (fast recovery), rc -> rt.
+	eng.RunUntil(300 * sim.Microsecond) // ~5 timer events
+	got := float64(rp.Rate())
+	if got < 0.9*40e9 {
+		t.Fatalf("fast recovery too slow: %v", rp.Rate())
+	}
+	if rp.Rate() > 40*units.Gbps {
+		t.Fatalf("rate exceeded line: %v", rp.Rate())
+	}
+}
+
+func TestByteCounterTriggersIncrease(t *testing.T) {
+	_, rp := newTestRP()
+	defer rp.Close()
+	rp.OnCNP()
+	before := rp.Rate()
+	// Push enough bytes for several byte-counter events without any timer.
+	rp.NotifySent(5 * DefaultConfig().ByteCounter)
+	if rp.Rate() <= before {
+		t.Fatalf("byte counter did not raise rate: %v -> %v", before, rp.Rate())
+	}
+}
+
+func TestHyperIncreaseAfterBothPastF(t *testing.T) {
+	eng, rp := newTestRP()
+	defer rp.Close()
+	for i := 0; i < 20; i++ {
+		rp.OnCNP()
+	}
+	low := rp.Rate()
+	// Drive both timer and byte counters far past F.
+	for i := 0; i < 20; i++ {
+		rp.NotifySent(DefaultConfig().ByteCounter)
+	}
+	eng.RunUntil(2 * sim.Millisecond)
+	if rp.Rate() <= low {
+		t.Fatal("no recovery after sustained quiet period")
+	}
+	if rp.Rate() > 40*units.Gbps {
+		t.Fatalf("rate above line: %v", rp.Rate())
+	}
+}
+
+func TestRateNeverExceedsLineUnderMixedEvents(t *testing.T) {
+	eng, rp := newTestRP()
+	defer rp.Close()
+	for i := 0; i < 50; i++ {
+		i := i
+		eng.At(sim.Time(i)*20*sim.Microsecond, func() {
+			if i%7 == 0 {
+				rp.OnCNP()
+			}
+			rp.NotifySent(2 * 1000 * 1000)
+			if rp.Rate() > 40*units.Gbps || rp.Rate() < DefaultConfig().MinRate {
+				t.Errorf("rate out of bounds: %v", rp.Rate())
+			}
+		})
+	}
+	eng.RunUntil(2 * sim.Millisecond)
+}
+
+func TestAlphaRisesOnCNP(t *testing.T) {
+	eng, rp := newTestRP()
+	defer rp.Close()
+	eng.RunUntil(5 * sim.Millisecond) // decay alpha low
+	aLow := rp.Alpha()
+	rp.OnCNP()
+	if rp.Alpha() <= aLow {
+		t.Fatalf("alpha did not rise on CNP: %v -> %v", aLow, rp.Alpha())
+	}
+}
+
+func TestCloseStopsTimers(t *testing.T) {
+	eng, rp := newTestRP()
+	rp.Close()
+	executed := eng.Executed
+	eng.RunUntil(10 * sim.Millisecond)
+	if eng.Executed != executed {
+		t.Fatal("timers still firing after Close")
+	}
+}
+
+func TestCNPResetsIncreaseStages(t *testing.T) {
+	eng, rp := newTestRP()
+	defer rp.Close()
+	rp.OnCNP()
+	eng.RunUntil(sim.Millisecond) // recovery well underway
+	r1 := rp.Rate()
+	rp.OnCNP()
+	if rp.Rate() >= r1 {
+		t.Fatal("second CNP did not cut rate")
+	}
+}

@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+// Device is anything that terminates ports: a switch or a host NIC.
+type Device interface {
+	// Receive is invoked by the fabric when a frame arrives on in.
+	Receive(pkt *Packet, in *Port)
+	// DevID returns a unique device identifier (host id or switch id space).
+	DevID() int
+}
+
+// PortStats counts traffic through a port's egress side.
+type PortStats struct {
+	TxFrames     uint64
+	TxBytes      uint64
+	PauseRx      uint64 // PAUSE frames received (this side was throttled)
+	PauseTx      uint64 // PAUSE frames sent by the owning device via this port
+	PausedFor    sim.Time
+	lastPausedAt sim.Time
+}
+
+// Port is one end of a full-duplex link. Egress queues and pause state belong
+// to this end; frames sent here arrive at Peer.Owner after serialization and
+// propagation delay.
+type Port struct {
+	Eng   *sim.Engine
+	Owner Device
+	// Index is the port number within the owning device.
+	Index int
+	Peer  *Port
+
+	Rate  units.Bandwidth
+	Delay sim.Time
+
+	queues [NumPrio]packetFIFO
+	busy   bool
+
+	paused     [NumPrio]bool
+	pauseTimer [NumPrio]*sim.Timer
+
+	// OnTxDone, if set, fires when a frame finishes serialization out of
+	// this port (switches use it to release shared-buffer accounting).
+	OnTxDone func(pkt *Packet)
+
+	Stats PortStats
+}
+
+// Connect wires a and b into a full-duplex link with the given rate and
+// one-way propagation delay on both directions.
+func Connect(a, b *Port, rate units.Bandwidth, delay sim.Time) {
+	a.Peer, b.Peer = b, a
+	a.Rate, b.Rate = rate, rate
+	a.Delay, b.Delay = delay, delay
+}
+
+// ConnectAsym wires a full-duplex link with distinct per-direction rates
+// (a transmits at rateA, b at rateB).
+func ConnectAsym(a, b *Port, rateA, rateB units.Bandwidth, delay sim.Time) {
+	a.Peer, b.Peer = b, a
+	a.Rate, b.Rate = rateA, rateB
+	a.Delay, b.Delay = delay, delay
+}
+
+// QueuedBytes returns the egress backlog of one priority class.
+func (p *Port) QueuedBytes(prio uint8) int { return p.queues[prio].Bytes() }
+
+// QueuedFrames returns the egress frame backlog of one priority class.
+func (p *Port) QueuedFrames(prio uint8) int { return p.queues[prio].Len() }
+
+// TotalQueuedBytes returns the backlog across all priorities.
+func (p *Port) TotalQueuedBytes() int {
+	total := 0
+	for i := 0; i < NumPrio; i++ {
+		total += p.queues[i].Bytes()
+	}
+	return total
+}
+
+// Paused reports whether a priority class is currently paused by PFC.
+func (p *Port) Paused(prio uint8) bool { return p.paused[prio] }
+
+// Busy reports whether the port is serializing a frame right now.
+func (p *Port) Busy() bool { return p.busy }
+
+// DrainTime estimates how long the current data-class backlog takes to
+// serialize at link rate (used by delay-aware load balancers).
+func (p *Port) DrainTime() sim.Time {
+	return units.TxTime(p.queues[PrioData].Bytes(), p.Rate)
+}
+
+// Enqueue places pkt in this port's egress queue and starts transmission if
+// the line is idle.
+func (p *Port) Enqueue(pkt *Packet) {
+	p.queues[pkt.Prio].Push(pkt)
+	p.trySend()
+}
+
+// SetPaused pauses or resumes a priority class. A pause with dur > 0 arms an
+// auto-resume timer (the PFC pause quanta expiring); a RESUME cancels it.
+func (p *Port) SetPaused(prio uint8, paused bool, dur sim.Time) {
+	if t := p.pauseTimer[prio]; t != nil {
+		t.Stop()
+		p.pauseTimer[prio] = nil
+	}
+	if paused == p.paused[prio] && !paused {
+		return
+	}
+	if paused {
+		if !p.paused[prio] {
+			p.Stats.lastPausedAt = p.Eng.Now()
+		}
+		p.paused[prio] = true
+		p.Stats.PauseRx++
+		if dur > 0 {
+			p.pauseTimer[prio] = p.Eng.After(dur, func() {
+				p.pauseTimer[prio] = nil
+				p.resume(prio)
+			})
+		}
+		return
+	}
+	p.resume(prio)
+}
+
+func (p *Port) resume(prio uint8) {
+	if !p.paused[prio] {
+		return
+	}
+	p.paused[prio] = false
+	p.Stats.PausedFor += p.Eng.Now() - p.Stats.lastPausedAt
+	p.trySend()
+}
+
+// nextFrame picks the highest-priority sendable frame, honoring pause state.
+func (p *Port) nextFrame() *Packet {
+	for prio := 0; prio < NumPrio; prio++ {
+		if p.paused[prio] {
+			continue
+		}
+		if pkt := p.queues[prio].Pop(); pkt != nil {
+			return pkt
+		}
+	}
+	return nil
+}
+
+func (p *Port) trySend() {
+	if p.busy || p.Peer == nil {
+		return
+	}
+	pkt := p.nextFrame()
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	tx := units.TxTime(pkt.Size, p.Rate)
+	p.Stats.TxFrames++
+	p.Stats.TxBytes += uint64(pkt.Size)
+	p.Eng.After(tx, func() {
+		p.busy = false
+		if p.OnTxDone != nil {
+			p.OnTxDone(pkt)
+		}
+		p.trySend()
+	})
+	p.Eng.After(tx+p.Delay, func() {
+		p.Peer.Owner.Receive(pkt, p.Peer)
+	})
+}

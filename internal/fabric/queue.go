@@ -1,0 +1,51 @@
+package fabric
+
+// packetFIFO is a slice-backed FIFO queue of packets. Pop does not shrink the
+// backing array immediately; the head space is reclaimed when it grows past
+// half the slice, keeping amortized O(1) operations without per-packet
+// allocation.
+type packetFIFO struct {
+	buf   []*Packet
+	head  int
+	bytes int
+}
+
+// Len returns the number of queued packets.
+func (q *packetFIFO) Len() int { return len(q.buf) - q.head }
+
+// Bytes returns the total wire bytes queued.
+func (q *packetFIFO) Bytes() int { return q.bytes }
+
+// Push appends a packet.
+func (q *packetFIFO) Push(p *Packet) {
+	q.buf = append(q.buf, p)
+	q.bytes += p.Size
+}
+
+// Pop removes and returns the oldest packet, or nil if empty.
+func (q *packetFIFO) Pop() *Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	if q.head > len(q.buf)/2 && q.head > 32 {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Peek returns the oldest packet without removing it, or nil if empty.
+func (q *packetFIFO) Peek() *Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return q.buf[q.head]
+}

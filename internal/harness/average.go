@@ -1,0 +1,117 @@
+package harness
+
+// AvgMetrics are seed-averaged headline metrics for one configuration.
+type AvgMetrics struct {
+	AFCT      float64 // mean FCT, ms
+	P25       float64
+	P50       float64
+	P75       float64
+	P90       float64
+	P99       float64 // tail FCT, ms
+	OOOPct    float64 // out-of-order arrivals, % of received
+	OODp99    float64 // 99th percentile out-of-order degree, packets
+	PauseRate float64 // PAUSE frames per simulated ms
+	Completed float64 // flows completed
+	Seeds     int
+}
+
+// seedStride spaces seed offsets so derived streams stay independent.
+const seedStride = 9973
+
+// RunAveraged executes every config with `seeds` different seeds and returns
+// per-config averaged metrics, preserving input order.
+func RunAveraged(cfgs []RunConfig, seeds int) []AvgMetrics {
+	if seeds < 1 {
+		seeds = 1
+	}
+	expanded := make([]RunConfig, 0, len(cfgs)*seeds)
+	for _, c := range cfgs {
+		for s := 0; s < seeds; s++ {
+			c2 := c
+			c2.Seed = c.Seed + uint64(s)*seedStride
+			expanded = append(expanded, c2)
+		}
+	}
+	results := RunAll(expanded)
+	out := make([]AvgMetrics, len(cfgs))
+	for i := range cfgs {
+		group := results[i*seeds : (i+1)*seeds]
+		var m AvgMetrics
+		m.Seeds = seeds
+		for _, r := range group {
+			rep := r.Report
+			m.AFCT += rep.AvgFCTms()
+			m.P25 += rep.FCT.Percentile(25)
+			m.P50 += rep.FCT.Percentile(50)
+			m.P75 += rep.FCT.Percentile(75)
+			m.P90 += rep.FCT.Percentile(90)
+			m.P99 += rep.TailFCTms()
+			m.OOOPct += 100 * rep.OOORatio()
+			m.OODp99 += rep.OOD.Percentile(99)
+			m.PauseRate += r.PauseRatePerMs()
+			m.Completed += float64(rep.Completed)
+		}
+		n := float64(seeds)
+		m.AFCT /= n
+		m.P25 /= n
+		m.P50 /= n
+		m.P75 /= n
+		m.P90 /= n
+		m.P99 /= n
+		m.OOOPct /= n
+		m.OODp99 /= n
+		m.PauseRate /= n
+		m.Completed /= n
+		out[i] = m
+	}
+	return out
+}
+
+// MotivAvg is the seed-averaged view of a motivation-scenario run, measured
+// over the background (victim) flows.
+type MotivAvg struct {
+	PauseRate float64
+	OODp99    float64
+	OOOPct    float64
+	AFCT      float64
+	P99       float64
+	Completed float64
+}
+
+// RunMotivationsAveraged executes each spec with `seeds` seeds and averages.
+func RunMotivationsAveraged(specs []MotivationSpec, seeds int) []MotivAvg {
+	if seeds < 1 {
+		seeds = 1
+	}
+	expanded := make([]MotivationSpec, 0, len(specs)*seeds)
+	for _, sp := range specs {
+		for s := 0; s < seeds; s++ {
+			sp2 := sp
+			sp2.Seed = sp.Seed + uint64(s)*seedStride
+			expanded = append(expanded, sp2)
+		}
+	}
+	results := runMotivations(expanded)
+	out := make([]MotivAvg, len(specs))
+	for i := range specs {
+		group := results[i*seeds : (i+1)*seeds]
+		var m MotivAvg
+		for _, r := range group {
+			m.PauseRate += r.PauseRatePerMs()
+			m.OODp99 += r.Background.OOD.Percentile(99)
+			m.OOOPct += 100 * r.Background.OOORatio()
+			m.AFCT += r.Background.AvgFCTms()
+			m.P99 += r.Background.TailFCTms()
+			m.Completed += float64(r.Background.Completed)
+		}
+		n := float64(seeds)
+		m.PauseRate /= n
+		m.OODp99 /= n
+		m.OOOPct /= n
+		m.AFCT /= n
+		m.P99 /= n
+		m.Completed /= n
+		out[i] = m
+	}
+	return out
+}

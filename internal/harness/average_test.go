@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+func averageTestCfg(load float64) RunConfig {
+	p := testScale.TopoParams()
+	MustScheme("ecmp", testScale.LinkDelay, nil).Apply(&p)
+	return RunConfig{
+		Topo: p, Workload: workload.WebServer(), Load: load,
+		MaxFlowBytes: testScale.MaxFlowBytes,
+		Duration:     testScale.Duration, Drain: testScale.Drain, Seed: 5,
+	}
+}
+
+func TestRunAveragedShape(t *testing.T) {
+	cfgs := []RunConfig{averageTestCfg(0.2), averageTestCfg(0.4)}
+	out := RunAveraged(cfgs, 2)
+	if len(out) != 2 {
+		t.Fatalf("%d results", len(out))
+	}
+	for i, m := range out {
+		if m.Seeds != 2 {
+			t.Fatalf("Seeds = %d", m.Seeds)
+		}
+		if m.Completed <= 0 || m.AFCT <= 0 {
+			t.Fatalf("cfg %d: empty metrics %+v", i, m)
+		}
+		// Percentiles must be ordered.
+		if !(m.P25 <= m.P50 && m.P50 <= m.P75 && m.P75 <= m.P90 && m.P90 <= m.P99) {
+			t.Fatalf("cfg %d: percentiles not monotone: %+v", i, m)
+		}
+	}
+	// More load, more flows.
+	if out[1].Completed <= out[0].Completed {
+		t.Fatalf("flow counts not increasing with load: %v vs %v", out[0].Completed, out[1].Completed)
+	}
+}
+
+func TestRunAveragedSingleSeedMatchesRun(t *testing.T) {
+	cfg := averageTestCfg(0.3)
+	direct := Run(cfg)
+	avg := RunAveraged([]RunConfig{cfg}, 1)[0]
+	if avg.AFCT != direct.Report.AvgFCTms() {
+		t.Fatalf("single-seed average %v != direct %v", avg.AFCT, direct.Report.AvgFCTms())
+	}
+	if avg.Completed != float64(direct.Report.Completed) {
+		t.Fatal("completed mismatch")
+	}
+}
+
+func TestRunAveragedClampsSeeds(t *testing.T) {
+	out := RunAveraged([]RunConfig{averageTestCfg(0.2)}, 0)
+	if out[0].Seeds != 1 {
+		t.Fatalf("seeds not clamped: %d", out[0].Seeds)
+	}
+}
+
+func TestRunMotivationsAveraged(t *testing.T) {
+	specs := []MotivationSpec{{
+		Scale: testScale, Scheme: motivScheme("presto", testScale),
+		PFCEnabled: true, SprayPaths: 2, Bursts: 2, Seed: 3,
+	}}
+	out := RunMotivationsAveraged(specs, 2)
+	if len(out) != 1 {
+		t.Fatalf("%d results", len(out))
+	}
+	if out[0].Completed <= 0 {
+		t.Fatalf("no background flows completed: %+v", out[0])
+	}
+	if out[0].PauseRate <= 0 {
+		t.Fatalf("motivation scenario produced no pauses: %+v", out[0])
+	}
+}
+
+func TestScaleSeedsHelper(t *testing.T) {
+	s := Scale{}
+	if s.seeds() != 1 {
+		t.Fatal("zero Seeds should clamp to 1")
+	}
+	s.Seeds = 3
+	if s.seeds() != 3 {
+		t.Fatal("explicit Seeds ignored")
+	}
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+// ExtIRN is an extension experiment beyond the paper's figures: it compares
+// the three positions in the design space the paper's related work (§5)
+// sketches, on the same fabric and workload:
+//
+//   - lossless + go-back-N (the status quo RLB targets),
+//   - lossless + go-back-N + RLB (the paper's proposal),
+//   - lossy + IRN-style selective repeat (Mittal et al.: drop PFC, fix the
+//     transport instead).
+//
+// The interesting comparison is reordering cost vs. loss-recovery cost.
+func ExtIRN(s Scale, seed uint64) *Table {
+	t := &Table{
+		Title: "Extension — lossless+GBN vs lossless+GBN+RLB vs lossy+IRN (Web Server @ 60%)",
+		Headers: []string{"base", "mode", "AFCT (ms)", "p99 (ms)", "OOO%",
+			"pauses/ms", "done"},
+	}
+	type mode struct {
+		label     string
+		rlb       bool
+		pfc       bool
+		selective bool
+	}
+	modes := []mode{
+		{"pfc+gbn", false, true, false},
+		{"pfc+gbn+rlb", true, true, false},
+		{"lossy+irn", false, false, true},
+	}
+	var cfgs []RunConfig
+	var labels [][2]string
+	for _, base := range []string{"letflow", "drill"} {
+		for _, m := range modes {
+			name := base
+			if m.rlb {
+				name += "+rlb"
+			}
+			p := s.TopoParams()
+			MustScheme(name, s.LinkDelay, nil).Apply(&p)
+			p.Switch.PFCEnabled = m.pfc
+			p.Host.SelectiveRepeat = m.selective
+			cfgs = append(cfgs, RunConfig{
+				Topo:         p,
+				Workload:     workload.WebServer(),
+				Load:         0.6,
+				MaxFlowBytes: s.MaxFlowBytes,
+				Duration:     s.Duration,
+				Drain:        s.Drain,
+				Seed:         seed,
+			})
+			labels = append(labels, [2]string{base, m.label})
+		}
+	}
+	results := RunAveraged(cfgs, s.seeds())
+	for i, l := range labels {
+		r := results[i]
+		t.AddRow(l[0], l[1], r.AFCT, r.P99, r.OOOPct, r.PauseRate, r.Completed)
+	}
+	t.AddNote("IRN keeps out-of-order arrivals and retransmits selectively, so its OOO%% is harmless; GBN discards them")
+	return t
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+// fig10Base is the scheme used for the parameter sensitivity study.
+const fig10Base = "drill"
+
+// Fig10Qth reproduces Fig. 10(a): normalized AFCT as the PFC warning
+// threshold Qth sweeps 20%-80% of the PFC threshold, under Web Server and
+// Data Mining. AFCT is normalized per workload to the best value in the
+// sweep (1.0 = optimum).
+func Fig10Qth(s Scale, seed uint64) *Table {
+	fracs := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	t := &Table{
+		Title:   "Fig. 10(a) — sensitivity to Qth (normalized AFCT, " + fig10Base + "+rlb)",
+		Headers: []string{"workload"},
+	}
+	for _, f := range fracs {
+		t.Headers = append(t.Headers, fmt.Sprintf("%.0f%%", f*100))
+	}
+	for _, wl := range []string{"webserver", "datamining"} {
+		dist, _ := workload.ByName(wl)
+		var cfgs []RunConfig
+		for _, frac := range fracs {
+			rlb := defaultRLBFor(s)
+			rlb.QthFraction = frac
+			p := s.TopoParams()
+			MustScheme(fig10Base+"+rlb", s.LinkDelay, &rlb).Apply(&p)
+			cfgs = append(cfgs, RunConfig{
+				Topo: p, Workload: dist, Load: 0.5,
+				MaxFlowBytes: s.MaxFlowBytes, Duration: s.Duration, Drain: s.Drain, Seed: seed,
+			})
+		}
+		results := RunAveraged(cfgs, s.seeds())
+		t.AddRow(normalizedRow(wl, results)...)
+	}
+	return t
+}
+
+// Fig10DeltaT reproduces Fig. 10(b): normalized AFCT as the derivative
+// sampling interval Δt sweeps 2-5 us.
+func Fig10DeltaT(s Scale, seed uint64) *Table {
+	dts := []sim.Time{
+		2 * sim.Microsecond, 2500 * sim.Nanosecond, 3 * sim.Microsecond,
+		3500 * sim.Nanosecond, 4 * sim.Microsecond, 4500 * sim.Nanosecond, 5 * sim.Microsecond,
+	}
+	t := &Table{
+		Title:   "Fig. 10(b) — sensitivity to Δt (normalized AFCT, " + fig10Base + "+rlb)",
+		Headers: []string{"workload"},
+	}
+	for _, dt := range dts {
+		t.Headers = append(t.Headers, dt.String())
+	}
+	for _, wl := range []string{"webserver", "datamining"} {
+		dist, _ := workload.ByName(wl)
+		var cfgs []RunConfig
+		for _, dt := range dts {
+			rlb := defaultRLBFor(s)
+			rlb.DeltaT = dt
+			p := s.TopoParams()
+			MustScheme(fig10Base+"+rlb", s.LinkDelay, &rlb).Apply(&p)
+			cfgs = append(cfgs, RunConfig{
+				Topo: p, Workload: dist, Load: 0.5,
+				MaxFlowBytes: s.MaxFlowBytes, Duration: s.Duration, Drain: s.Drain, Seed: seed,
+			})
+		}
+		results := RunAveraged(cfgs, s.seeds())
+		t.AddRow(normalizedRow(wl, results)...)
+	}
+	return t
+}
+
+// normalizedRow converts AFCTs into a row normalized to the sweep's best.
+func normalizedRow(label string, results []AvgMetrics) []interface{} {
+	best := 0.0
+	for _, r := range results {
+		if r.AFCT > 0 && (best == 0 || r.AFCT < best) {
+			best = r.AFCT
+		}
+	}
+	row := []interface{}{label}
+	for _, r := range results {
+		if best == 0 {
+			row = append(row, 0.0)
+			continue
+		}
+		row = append(row, r.AFCT/best)
+	}
+	return row
+}

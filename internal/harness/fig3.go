@@ -1,0 +1,59 @@
+package harness
+
+// Fig3 reproduces Fig. 3: the four load-balancing schemes in the Fig. 2
+// scenario, with PFC enabled vs. disabled, measuring (a) PFC pause rate,
+// (b) 99th-percentile out-of-order degree, (c) average FCT and (d) 99th
+// percentile FCT of the background flows.
+func Fig3(s Scale, seed uint64) *Table {
+	t := &Table{
+		Title: "Fig. 3 — LB schemes with vs. without PFC (motivation scenario)",
+		Headers: []string{"scheme", "pfc", "pause/ms", "p99 OOD (pkts)", "OOO%",
+			"AFCT (ms)", "p99 FCT (ms)", "bg flows done"},
+	}
+	var specs []MotivationSpec
+	for _, name := range FourSchemes {
+		for _, pfc := range []bool{true, false} {
+			specs = append(specs, MotivationSpec{
+				Scale:      s,
+				Scheme:     motivScheme(name, s),
+				PFCEnabled: pfc,
+				SprayPaths: 5,
+				Bursts:     2,
+				Seed:       seed,
+			})
+		}
+	}
+	results := RunMotivationsAveraged(specs, s.seeds())
+	for i, spec := range specs {
+		r := results[i]
+		pfcLabel := "on"
+		if !spec.PFCEnabled {
+			pfcLabel = "off"
+		}
+		t.AddRow(spec.Scheme.Name, pfcLabel,
+			r.PauseRate, r.OODp99, r.OOOPct, r.AFCT, r.P99, r.Completed)
+	}
+	t.AddNote("scale=%s: %d paths, %d bg pairs, %d seeds; paper uses 40 paths, 100 pairs",
+		s.Name, s.MotivSpines, s.MotivHosts, s.seeds())
+	return t
+}
+
+// runMotivations executes motivation specs concurrently in input order.
+func runMotivations(specs []MotivationSpec) []*MotivationResult {
+	results := make([]*MotivationResult, len(specs))
+	done := make(chan int)
+	sem := make(chan struct{}, maxWorkers(len(specs)))
+	for i := range specs {
+		i := i
+		go func() {
+			sem <- struct{}{}
+			results[i] = RunMotivation(specs[i])
+			<-sem
+			done <- i
+		}()
+	}
+	for range specs {
+		<-done
+	}
+	return results
+}

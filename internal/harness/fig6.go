@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+// Fig6 reproduces Fig. 6: the FCT distribution of every flow under the Web
+// Search workload at 60% load on the symmetric topology, for each base
+// scheme with and without RLB. The paper plots full CDFs; this table prints
+// the distribution's quantiles plus the headline tail change.
+func Fig6(s Scale, seed uint64) *Table {
+	t := &Table{
+		Title: "Fig. 6 — FCT of all flows, symmetric topology, Web Search @ 60% load",
+		Headers: []string{"scheme", "done", "p25 (ms)", "p50 (ms)", "p75 (ms)",
+			"p90 (ms)", "p99 (ms)", "AFCT (ms)", "OOO%"},
+	}
+	var cfgs []RunConfig
+	var names []string
+	for _, base := range FourSchemes {
+		for _, suffix := range []string{"", "+rlb"} {
+			name := base + suffix
+			p := s.TopoParams()
+			MustScheme(name, s.LinkDelay, nil).Apply(&p)
+			cfgs = append(cfgs, RunConfig{
+				Topo:         p,
+				Workload:     workload.WebSearch(),
+				Load:         0.6,
+				MaxFlowBytes: s.MaxFlowBytes,
+				Duration:     s.Duration,
+				Drain:        s.Drain,
+				Seed:         seed,
+			})
+			names = append(names, name)
+		}
+	}
+	results := RunAveraged(cfgs, s.seeds())
+	for i, name := range names {
+		r := results[i]
+		t.AddRow(name, r.Completed, r.P25, r.P50, r.P75, r.P90, r.P99, r.AFCT, r.OOOPct)
+	}
+	// Headline: tail change per base scheme (paper: cuts of 58/67/72/54%).
+	for i := 0; i < len(names); i += 2 {
+		van, rlb := results[i], results[i+1]
+		if van.P99 > 0 {
+			red := 100 * (van.P99 - rlb.P99) / van.P99
+			t.AddNote("%s: RLB changes p99 FCT by %+.0f%% (paper: cuts up to 58/67/72/54%% for presto/letflow/hermes/drill)",
+				names[i], -red)
+		}
+	}
+	return t
+}
+
+// Fig6CDF returns the raw FCT CDF points for one scheme (for plotting).
+func Fig6CDF(s Scale, schemeName string, points int, seed uint64) ([]float64, error) {
+	sch, err := SchemeByName(schemeName, s.LinkDelay, nil)
+	if err != nil {
+		return nil, err
+	}
+	p := s.TopoParams()
+	sch.Apply(&p)
+	res := Run(RunConfig{
+		Topo: p, Workload: workload.WebSearch(), Load: 0.6,
+		MaxFlowBytes: s.MaxFlowBytes, Duration: s.Duration, Drain: s.Drain, Seed: seed,
+	})
+	cdf := res.Report.FCT.CDF(points)
+	out := make([]float64, len(cdf))
+	for i, pt := range cdf {
+		out[i] = pt.X
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: no completed flows for %s", schemeName)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+// fig7Loads are the offered loads swept in Fig. 7.
+var fig7Loads = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+
+// fig7Schemes are the schemes compared in Fig. 7.
+var fig7Schemes = []string{"drill", "drill+rlb", "hermes", "hermes+rlb"}
+
+// Fig7 reproduces Fig. 7: average FCT on the asymmetric topology (20% of
+// leaf-spine links at quarter rate) for DRILL and Hermes with and without
+// RLB, across the four realistic workloads and loads 0.2-0.7.
+func Fig7(s Scale, seed uint64) []*Table {
+	var tables []*Table
+	for _, dist := range workload.All() {
+		tables = append(tables, fig7One(s, dist, seed))
+	}
+	return tables
+}
+
+// Fig7Workload runs Fig. 7 for a single named workload.
+func Fig7Workload(s Scale, name string, seed uint64) (*Table, error) {
+	dist, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return fig7One(s, dist, seed), nil
+}
+
+func fig7One(s Scale, dist *workload.SizeDist, seed uint64) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 7 — AFCT (ms) on asymmetric topology, %s workload", dist.Name),
+		Headers: []string{"scheme"},
+	}
+	for _, l := range fig7Loads {
+		t.Headers = append(t.Headers, fmt.Sprintf("load %.1f", l))
+	}
+	var cfgs []RunConfig
+	for _, name := range fig7Schemes {
+		for _, load := range fig7Loads {
+			p := s.AsymTopoParams()
+			MustScheme(name, s.LinkDelay, nil).Apply(&p)
+			cfgs = append(cfgs, RunConfig{
+				Topo:         p,
+				Workload:     dist,
+				Load:         load,
+				MaxFlowBytes: s.MaxFlowBytes,
+				Duration:     s.Duration,
+				Drain:        s.Drain,
+				Seed:         seed,
+			})
+		}
+	}
+	results := RunAveraged(cfgs, s.seeds())
+	idx := 0
+	for _, name := range fig7Schemes {
+		row := []interface{}{name}
+		for range fig7Loads {
+			row = append(row, results[idx].AFCT)
+			idx++
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,153 @@
+// Package harness runs the paper's experiments: it builds scenarios
+// (topology + scheme + workload), executes many independent simulations in
+// parallel across CPU cores, and renders the result tables/series for every
+// figure in the evaluation section (Figs. 3, 4, 6, 7, 8, 9, 10).
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/rlb-project/rlb/internal/core"
+	"github.com/rlb-project/rlb/internal/metrics"
+	"github.com/rlb-project/rlb/internal/rng"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/topo"
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	// Topo is the fabric; Build-ready.
+	Topo topo.Params
+	// Workload, when non-nil, drives Poisson inter-leaf traffic at Load.
+	Workload *workload.SizeDist
+	Load     float64
+	// MaxFlowBytes truncates sampled flow sizes (0 = no cap). Scaled-down
+	// runs cap elephants so they can finish within the window; see
+	// EXPERIMENTS.md.
+	MaxFlowBytes int
+	// Duration is the traffic generation window; Drain is extra time for
+	// in-flight flows to finish.
+	Duration sim.Time
+	Drain    sim.Time
+	// Inject, when non-nil, adds custom traffic after the network is built
+	// (bursts, incast, the Fig. 2 scenario).
+	Inject func(n *topo.Network)
+	Seed   uint64
+}
+
+// Result captures one simulation's outcome.
+type Result struct {
+	Report   *metrics.FlowReport
+	Pauses   uint64
+	Recircs  uint64
+	Drops    uint64
+	Warnings uint64 // CNMs accepted by leaf agents
+	// Agents aggregates RLB rerouting-module stats across leaves.
+	Agents  core.AgentStats
+	SimTime sim.Time
+	Wall    time.Duration
+	Network *topo.Network // retained for scenario-specific digging
+}
+
+// PauseRatePerMs returns PAUSE frames per simulated millisecond.
+func (r *Result) PauseRatePerMs() float64 {
+	return metrics.PauseRate(r.Pauses, r.SimTime)
+}
+
+// Run executes one simulation to completion.
+func Run(cfg RunConfig) *Result {
+	start := time.Now()
+	cfg.Topo.Seed = cfg.Seed + 1
+	n := topo.Build(cfg.Topo)
+
+	if cfg.Workload != nil && cfg.Load > 0 {
+		hosts := make([]int, len(n.Hosts))
+		for i := range hosts {
+			hosts[i] = i
+		}
+		gen := &workload.Poisson{
+			Eng:           n.Eng,
+			Rng:           rng.New(cfg.Seed + 7),
+			Dist:          cfg.Workload,
+			Hosts:         hosts,
+			HostsPerLeaf:  cfg.Topo.HostsPerLeaf,
+			InterLeafOnly: true,
+			Load:          cfg.Load,
+			LineRate:      cfg.Topo.LinkRate,
+			Start:         n.Starter(),
+			CapBytes:      cfg.MaxFlowBytes,
+		}
+		gen.Run(cfg.Duration)
+	}
+	if cfg.Inject != nil {
+		cfg.Inject(n)
+	}
+
+	n.Run(cfg.Duration + cfg.Drain)
+	n.StopRLB()
+
+	res := &Result{
+		Report:  metrics.BuildFlowReport(n.Flows),
+		Pauses:  n.PauseFramesSent(),
+		Recircs: n.Recirculations(),
+		Drops:   n.Drops(),
+		SimTime: n.Eng.Now(),
+		Wall:    time.Since(start),
+		Network: n,
+	}
+	for _, a := range n.Agents {
+		if a == nil {
+			continue
+		}
+		res.Warnings += a.Stats.WarningsRcvd
+		res.Agents.WarningsRcvd += a.Stats.WarningsRcvd
+		res.Agents.PicksTotal += a.Stats.PicksTotal
+		res.Agents.PicksWarned += a.Stats.PicksWarned
+		res.Agents.Reroutes += a.Stats.Reroutes
+		res.Agents.Recircs += a.Stats.Recircs
+		res.Agents.Fallbacks += a.Stats.Fallbacks
+		res.Agents.OrderStays += a.Stats.OrderStays
+		res.Agents.OrderRecircs += a.Stats.OrderRecircs
+		res.Agents.DivertSticky += a.Stats.DivertSticky
+		res.Agents.StayCheaper += a.Stats.StayCheaper
+	}
+	return res
+}
+
+// workers returns the simulation parallelism (one worker per CPU).
+func workers() int { return runtime.GOMAXPROCS(0) }
+
+// RunAll executes configs concurrently (one goroutine per simulation, capped
+// at GOMAXPROCS workers) and returns results in input order. Each simulation
+// is fully independent — separate engine, RNG streams, and network — so this
+// is embarrassingly parallel.
+func RunAll(cfgs []RunConfig) []*Result {
+	results := make([]*Result, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

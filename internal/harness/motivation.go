@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"github.com/rlb-project/rlb/internal/core"
+	"github.com/rlb-project/rlb/internal/metrics"
+	"github.com/rlb-project/rlb/internal/rng"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/topo"
+	"github.com/rlb-project/rlb/internal/transport"
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+// MotivationSpec parameterizes the Fig. 2 scenario: two leaf switches, many
+// equal-cost paths between them, background flows H1..Hn -> R1..Rn, bursty
+// hosts Hb blasting receiver Rc, and a long congested flow fc from Hc to Rc
+// sprayed over several parallel paths.
+type MotivationSpec struct {
+	Scale  Scale
+	Scheme Scheme
+	// PFCEnabled toggles lossless mode (the Fig. 3 comparison axis).
+	PFCEnabled bool
+	// SprayPaths is how many parallel paths fc uses (Fig. 4(a) sweeps this).
+	SprayPaths int
+	// Bursts is the number of continuous burst waves (Fig. 4(b) sweeps it).
+	Bursts int
+	// BgLoad is the background senders' offered load fraction.
+	BgLoad float64
+	Seed   uint64
+}
+
+// MotivationResult separates the victim (background) flows' metrics from the
+// aggregate, since the paper's Fig. 3/4 measure the uncongested flows.
+type MotivationResult struct {
+	*Result
+	Background *metrics.FlowReport
+}
+
+// RunMotivation executes the Fig. 2 scenario once.
+func RunMotivation(spec MotivationSpec) *MotivationResult {
+	s := spec.Scale
+	nBg := s.MotivHosts
+	nBurst := nBg / 4
+	if nBurst < 2 {
+		nBurst = 2
+	}
+	hostsPerLeaf := nBg + 1 + nBurst
+
+	p := topo.Default(2, s.MotivSpines, hostsPerLeaf)
+	p.LinkRate = s.LinkRate
+	p.LinkDelay = s.LinkDelay
+	s.ScaleSwitch(&p.Switch)
+	p.Switch.PFCEnabled = spec.PFCEnabled
+	spec.Scheme.Apply(&p)
+
+	// Host roles (leaf 0 then leaf 1). Burst hosts sit on leaf 0 so their
+	// line-rate 64 KB flows cross the fabric toward Rc: they are what pauses
+	// the parallel paths (Fig. 2 places Hb behind the spine layer).
+	hc := nBg                // congested-flow sender on leaf 0
+	rc := hostsPerLeaf + nBg // its receiver on leaf 1
+	burstBase := nBg + 1     // burst hosts on leaf 0
+
+	fcSize := 25 * 1000 * 1000 // scaled stand-in for the paper's 250 MB flow
+	if s.MaxFlowBytes > 0 && fcSize > 10*s.MaxFlowBytes {
+		fcSize = 10 * s.MaxFlowBytes
+	}
+	burstFlowSize := 64 * 1000
+	burstFlowsPerHost := 10 // scaled stand-in for the paper's 40
+	burstGap := 400 * sim.Microsecond
+
+	bgLoad := spec.BgLoad
+	if bgLoad <= 0 {
+		bgLoad = 0.55
+	}
+
+	cfg := RunConfig{
+		Topo:     p,
+		Duration: s.Duration,
+		Drain:    s.Drain,
+		Seed:     spec.Seed,
+		Inject: func(n *topo.Network) {
+			// Congested flow fc over SprayPaths parallel paths.
+			fc := n.StartFlow(hc, rc, fcSize)
+			n.SprayFlow(fc, spec.SprayPaths)
+
+			// Continuous bursts into Rc (intra-leaf on leaf 1).
+			var burstHosts []int
+			for b := 0; b < nBurst; b++ {
+				burstHosts = append(burstHosts, burstBase+b)
+			}
+			workload.Bursts(n.Eng, n.Starter(), burstHosts, rc,
+				burstFlowsPerHost, burstFlowSize, spec.Bursts, burstGap)
+
+			// Background pairs Hi -> Ri with Poisson arrivals (Web Search).
+			pairedPoisson(n, rng.New(spec.Seed+13), workload.WebSearch(),
+				nBg, hostsPerLeaf, bgLoad, s.Duration, s.MaxFlowBytes)
+		},
+	}
+	res := Run(cfg)
+	// Background flows are those sourced by H1..Hn (host ids < nBg).
+	var bg []*transport.Flow
+	for _, f := range res.Network.Flows {
+		if f.Src < nBg {
+			bg = append(bg, f)
+		}
+	}
+	return &MotivationResult{Result: res, Background: metrics.BuildFlowReport(bg)}
+}
+
+// pairedPoisson drives Poisson flow arrivals from sender i (host id i on
+// leaf 0) to receiver i (host id hostsPerLeaf+i on leaf 1), at the given
+// aggregate load, with sizes from dist (optionally capped).
+func pairedPoisson(n *topo.Network, r *rng.Source, dist *workload.SizeDist,
+	nPairs, hostsPerLeaf int, load float64, dur sim.Time, cap int) {
+
+	lambda := load * float64(n.P.LinkRate) * float64(nPairs) / (8 * dist.Mean())
+	stopAt := n.Eng.Now() + dur
+	var schedule func()
+	schedule = func() {
+		gap := sim.Time(r.ExpFloat64() / lambda * float64(sim.Second))
+		if gap < sim.Nanosecond {
+			gap = sim.Nanosecond
+		}
+		at := n.Eng.Now() + gap
+		if at >= stopAt {
+			return
+		}
+		n.Eng.At(at, func() {
+			i := r.Intn(nPairs)
+			size := dist.Sample(r)
+			if cap > 0 && size > cap {
+				size = cap
+			}
+			n.StartFlow(i, hostsPerLeaf+i, size)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// motivScheme builds the Scheme for a motivation run (vanilla base LB).
+func motivScheme(name string, s Scale) Scheme {
+	return MustScheme(name, s.LinkDelay, nil)
+}
+
+// defaultRLBFor returns RLB defaults for a scale.
+func defaultRLBFor(s Scale) core.Params { return core.DefaultParams(s.LinkDelay) }

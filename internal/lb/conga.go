@@ -1,0 +1,82 @@
+package lb
+
+import (
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// CONGA (Alizadeh et al., SIGCOMM 2014) balances flowlets onto the least
+// congested path: at each flowlet boundary it consults per-path congestion
+// state and picks the minimum. The original gathers that state with
+// in-network feedback; here the View's path monitor plays that role (the
+// same idealized-freshness substitution used for Hermes — see DESIGN.md).
+// Within a flowlet the path is pinned, so reordering only occurs when path
+// conditions invert mid-flowlet (or PFC pauses the chosen path, which is the
+// paper's point).
+type CONGA struct {
+	// Gap is the flowlet inactivity timeout.
+	Gap sim.Time
+
+	table map[uint32]*flowlet
+}
+
+// NewCONGA returns a CONGA factory with the given flowlet gap.
+func NewCONGA(gap sim.Time) Factory {
+	return func() Chooser { return &CONGA{Gap: gap, table: make(map[uint32]*flowlet)} }
+}
+
+// Name implements Chooser.
+func (c *CONGA) Name() string { return "conga" }
+
+// Choose implements Chooser.
+func (c *CONGA) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
+	now := v.Now()
+	fl := c.table[pkt.FlowID]
+	if fl == nil {
+		fl = &flowlet{path: c.leastCongested(v, pkt, exclude)}
+		c.table[pkt.FlowID] = fl
+	} else if now-fl.lastSeen > c.Gap {
+		// New flowlet: re-balance onto the currently best path.
+		fl.path = c.leastCongested(v, pkt, exclude)
+	}
+	fl.lastSeen = now
+	if exclude.Has(fl.path) {
+		// Hypothetical probe (RLB): answer without moving the flowlet.
+		return c.leastCongested(v, pkt, exclude)
+	}
+	return fl.path
+}
+
+// Commit implements Committer: an override moves the flowlet with it.
+func (c *CONGA) Commit(pkt *fabric.Packet, path int) {
+	if fl := c.table[pkt.FlowID]; fl != nil {
+		fl.path = path
+	}
+}
+
+// leastCongested returns the allowed path with the smallest estimated delay,
+// breaking ties randomly to avoid synchronized herding.
+func (c *CONGA) leastCongested(v View, pkt *fabric.Packet, exclude PathSet) int {
+	n := v.NumPaths()
+	best, bestD, ties := -1, sim.Time(0), 1
+	for i := 0; i < n; i++ {
+		if exclude.Has(i) {
+			continue
+		}
+		d := v.PathDelay(i, pkt)
+		switch {
+		case best == -1 || d < bestD:
+			best, bestD, ties = i, d, 1
+		case d == bestD:
+			// Reservoir-sample among equals.
+			ties++
+			if v.Rng().Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	if best == -1 {
+		return v.Rng().Intn(n)
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package lb
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+func TestCONGAPicksLeastCongested(t *testing.T) {
+	v := newFakeView(4)
+	v.delays = []sim.Time{50 * sim.Microsecond, 3 * sim.Microsecond, 60 * sim.Microsecond, 70 * sim.Microsecond}
+	c := NewCONGA(100 * sim.Microsecond)()
+	if got := c.Choose(v, dataPkt(1, 0), 0); got != 1 {
+		t.Fatalf("picked %d, want least-congested 1", got)
+	}
+}
+
+func TestCONGAFlowletPinned(t *testing.T) {
+	v := newFakeView(4)
+	c := NewCONGA(100 * sim.Microsecond)()
+	p0 := c.Choose(v, dataPkt(1, 0), 0)
+	// Conditions invert, but within the flowlet the path must not move.
+	for i := range v.delays {
+		v.delays[i] = 90 * sim.Microsecond
+	}
+	v.delays[(p0+1)%4] = sim.Microsecond
+	v.now += 10 * sim.Microsecond
+	if c.Choose(v, dataPkt(1, 1), 0) != p0 {
+		t.Fatal("flowlet moved mid-stream")
+	}
+}
+
+func TestCONGARebalancesAtFlowletBoundary(t *testing.T) {
+	v := newFakeView(4)
+	c := NewCONGA(100 * sim.Microsecond)()
+	p0 := c.Choose(v, dataPkt(1, 0), 0)
+	for i := range v.delays {
+		v.delays[i] = 90 * sim.Microsecond
+	}
+	best := (p0 + 2) % 4
+	v.delays[best] = sim.Microsecond
+	v.now += 200 * sim.Microsecond // flowlet gap expired
+	if got := c.Choose(v, dataPkt(1, 1), 0); got != best {
+		t.Fatalf("flowlet boundary picked %d, want %d", got, best)
+	}
+}
+
+func TestCONGATieBreakSpreads(t *testing.T) {
+	v := newFakeView(8) // all delays equal
+	c := NewCONGA(100 * sim.Microsecond)()
+	used := map[int]bool{}
+	for f := uint32(0); f < 200; f++ {
+		used[c.Choose(v, dataPkt(f, 0), 0)] = true
+	}
+	if len(used) < 5 {
+		t.Fatalf("ties collapse onto %d/8 paths", len(used))
+	}
+}
+
+func TestCONGAExcludeHypothetical(t *testing.T) {
+	v := newFakeView(4)
+	c := NewCONGA(100 * sim.Microsecond)()
+	p0 := c.Choose(v, dataPkt(1, 0), 0)
+	got := c.Choose(v, dataPkt(1, 1), PathSet(0).With(p0))
+	if got == p0 {
+		t.Fatal("excluded path returned")
+	}
+	if c.Choose(v, dataPkt(1, 2), 0) != p0 {
+		t.Fatal("probe moved the flowlet")
+	}
+}
+
+func TestCONGACommit(t *testing.T) {
+	v := newFakeView(4)
+	c := NewCONGA(100 * sim.Microsecond)().(*CONGA)
+	p0 := c.Choose(v, dataPkt(1, 0), 0)
+	np := (p0 + 1) % 4
+	c.Commit(dataPkt(1, 1), np)
+	if c.Choose(v, dataPkt(1, 2), 0) != np {
+		t.Fatal("commit ignored")
+	}
+	c.Commit(dataPkt(77, 0), 0) // unknown flow: no-op
+}

@@ -1,0 +1,52 @@
+package lb
+
+import "github.com/rlb-project/rlb/internal/fabric"
+
+// DRILL (Ghorbani et al., SIGCOMM 2017) does per-packet micro load
+// balancing: each packet samples D random uplinks plus the M best uplinks
+// remembered from previous decisions and takes the one with the shortest
+// local egress queue. DRILL(2,1) is the paper's configuration.
+type DRILL struct {
+	// D is the number of random samples per packet.
+	D int
+	// M is the number of remembered best ports (this implementation keeps 1).
+	M int
+
+	lastBest int
+	hasBest  bool
+}
+
+// NewDRILL returns a DRILL(d, m) factory.
+func NewDRILL(d, m int) Factory {
+	return func() Chooser { return &DRILL{D: d, M: m} }
+}
+
+// Name implements Chooser.
+func (d *DRILL) Name() string { return "drill" }
+
+// Choose implements Chooser.
+func (d *DRILL) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
+	n := v.NumPaths()
+	best, bestQ := -1, 0
+	consider := func(i int) {
+		if i < 0 || exclude.Has(i) {
+			return
+		}
+		q := v.QueueBytes(i)
+		if best == -1 || q < bestQ {
+			best, bestQ = i, q
+		}
+	}
+	for k := 0; k < d.D; k++ {
+		consider(v.Rng().Intn(n))
+	}
+	if d.M > 0 && d.hasBest {
+		consider(d.lastBest)
+	}
+	if best == -1 {
+		// Every sampled path excluded: scan for any allowed one.
+		best = firstOutside(v.Rng().Intn(n), n, exclude)
+	}
+	d.lastBest, d.hasBest = best, true
+	return best
+}

@@ -1,0 +1,19 @@
+package lb
+
+import "github.com/rlb-project/rlb/internal/fabric"
+
+// ECMP hashes each flow onto one path for its lifetime — the classic
+// flow-level baseline that never reorders but cannot react to congestion.
+type ECMP struct{}
+
+// NewECMP returns the ECMP chooser factory.
+func NewECMP() Factory { return func() Chooser { return ECMP{} } }
+
+// Name implements Chooser.
+func (ECMP) Name() string { return "ecmp" }
+
+// Choose implements Chooser.
+func (ECMP) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
+	n := v.NumPaths()
+	return firstOutside(int(hashFlow(pkt.FlowID)%uint64(n)), n, exclude)
+}

@@ -1,0 +1,58 @@
+package lb
+
+import (
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// LetFlow (Vanini et al., NSDI 2017) switches paths at flowlet boundaries: a
+// packet arriving more than Gap after its flow's previous packet starts a new
+// flowlet, which picks a uniformly random path. Congested paths slow down and
+// naturally shed flowlets — LetFlow needs no explicit congestion signal.
+type LetFlow struct {
+	// Gap is the flowlet inactivity timeout.
+	Gap sim.Time
+
+	table map[uint32]*flowlet
+}
+
+type flowlet struct {
+	path     int
+	lastSeen sim.Time
+}
+
+// Commit implements Committer: an override moves the flowlet with it.
+func (l *LetFlow) Commit(pkt *fabric.Packet, path int) {
+	if fl := l.table[pkt.FlowID]; fl != nil {
+		fl.path = path
+	}
+}
+
+// NewLetFlow returns a LetFlow factory with the given flowlet gap.
+func NewLetFlow(gap sim.Time) Factory {
+	return func() Chooser { return &LetFlow{Gap: gap, table: make(map[uint32]*flowlet)} }
+}
+
+// Name implements Chooser.
+func (l *LetFlow) Name() string { return "letflow" }
+
+// Choose implements Chooser.
+func (l *LetFlow) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
+	now := v.Now()
+	n := v.NumPaths()
+	fl := l.table[pkt.FlowID]
+	if fl == nil {
+		fl = &flowlet{path: v.Rng().Intn(n)}
+		l.table[pkt.FlowID] = fl
+	} else if now-fl.lastSeen > l.Gap {
+		fl.path = v.Rng().Intn(n)
+	}
+	fl.lastSeen = now
+	if exclude.Has(fl.path) {
+		// Caller veto (RLB probing): answer with an allowed path without
+		// committing the flowlet — the caller's sticky diversion keeps
+		// subsequent packets consistent if it forwards there.
+		return firstOutside(v.Rng().Intn(n), n, exclude)
+	}
+	return fl.path
+}

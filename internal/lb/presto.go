@@ -1,0 +1,57 @@
+package lb
+
+import "github.com/rlb-project/rlb/internal/fabric"
+
+// Presto (He et al., SIGCOMM 2015) sprays fixed-size flowcells over the
+// parallel paths in round-robin order: every flow is chopped into
+// CellBytes-sized cells and consecutive cells take consecutive paths.
+type Presto struct {
+	// CellBytes is the flowcell size (64 KB in the paper).
+	CellBytes int
+	// MTU converts a packet sequence number into a byte offset.
+	MTU int
+
+	// next is the global round-robin pointer assigning a start path to each
+	// new flow, as Presto's edge vSwitch does.
+	next int
+	// start remembers each flow's first path.
+	start map[uint32]int
+}
+
+// NewPresto returns a Presto factory with the given flowcell size and MTU.
+func NewPresto(cellBytes, mtu int) Factory {
+	return func() Chooser {
+		return &Presto{CellBytes: cellBytes, MTU: mtu, start: make(map[uint32]int)}
+	}
+}
+
+// Name implements Chooser.
+func (p *Presto) Name() string { return "presto" }
+
+// Choose implements Chooser: path = (flow start + cell index) mod paths.
+func (p *Presto) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
+	n := v.NumPaths()
+	s, ok := p.start[pkt.FlowID]
+	if !ok {
+		s = p.next % n
+		p.next++
+		p.start[pkt.FlowID] = s
+	}
+	cell := int(pkt.Seq) * p.MTU / p.CellBytes
+	if exclude == 0 {
+		return (s + cell) % n
+	}
+	// With exclusions, keep round-robin spreading over the allowed subset
+	// instead of collapsing onto the first allowed neighbor — otherwise
+	// every diverted cell herds onto the same path.
+	var allowed []int
+	for i := 0; i < n; i++ {
+		if !exclude.Has(i) {
+			allowed = append(allowed, i)
+		}
+	}
+	if len(allowed) == 0 {
+		return (s + cell) % n
+	}
+	return allowed[(s+cell)%len(allowed)]
+}

@@ -1,0 +1,110 @@
+// Package metrics provides the statistics used throughout the paper's
+// evaluation: flow-completion-time digests with percentiles and CDFs,
+// out-of-order degree distributions, and pause/reordering rate helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// Digest accumulates float64 samples and answers mean/percentile/CDF
+// queries. It keeps all samples (simulations produce at most a few hundred
+// thousand flows), sorting lazily.
+type Digest struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (d *Digest) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// AddTime appends a sim.Time sample in milliseconds.
+func (d *Digest) AddTime(t sim.Time) { d.Add(t.Millis()) }
+
+// Count returns the number of samples.
+func (d *Digest) Count() int { return len(d.samples) }
+
+// Mean returns the sample mean (0 with no samples).
+func (d *Digest) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+func (d *Digest) sort() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks; 0 with no samples.
+func (d *Digest) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := p / 100 * float64(len(d.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Min returns the smallest sample.
+func (d *Digest) Min() float64 { return d.Percentile(0) }
+
+// Max returns the largest sample.
+func (d *Digest) Max() float64 { return d.Percentile(100) }
+
+// CDFPoint is one (value, cumulative fraction) pair.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns n evenly spaced points of the empirical CDF.
+func (d *Digest) CDF(n int) []CDFPoint {
+	if len(d.samples) == 0 || n <= 0 {
+		return nil
+	}
+	d.sort()
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		frac := float64(i+1) / float64(n)
+		idx := int(frac*float64(len(d.samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		pts = append(pts, CDFPoint{X: d.samples[idx], P: frac})
+	}
+	return pts
+}
+
+// Summary formats count/mean/p50/p99/max on one line.
+func (d *Digest) Summary(unit string) string {
+	return fmt.Sprintf("n=%d mean=%.4g%s p50=%.4g%s p99=%.4g%s max=%.4g%s",
+		d.Count(), d.Mean(), unit, d.Percentile(50), unit, d.Percentile(99), unit, d.Max(), unit)
+}

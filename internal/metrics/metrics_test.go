@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/transport"
+)
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.Mean() != 0 || d.Percentile(50) != 0 || d.Count() != 0 {
+		t.Fatal("empty digest should return zeros")
+	}
+	if d.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestDigestMeanAndPercentiles(t *testing.T) {
+	var d Digest
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := d.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+	p50 := d.Percentile(50)
+	if p50 < 50 || p50 > 51 {
+		t.Fatalf("P50 = %v", p50)
+	}
+	p99 := d.Percentile(99)
+	if p99 < 99 || p99 > 100 {
+		t.Fatalf("P99 = %v", p99)
+	}
+}
+
+func TestDigestInterleavedAddAndQuery(t *testing.T) {
+	var d Digest
+	d.Add(5)
+	_ = d.Percentile(50)
+	d.Add(1) // must invalidate sort
+	if got := d.Min(); got != 1 {
+		t.Fatalf("Min after re-add = %v", got)
+	}
+}
+
+func TestDigestPercentileProperty(t *testing.T) {
+	prop := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		var d Digest
+		for _, v := range raw {
+			d.Add(v)
+		}
+		p := float64(pRaw) / 255 * 100
+		got := d.Percentile(p)
+		s := append([]float64(nil), raw...)
+		sort.Float64s(s)
+		return got >= s[0] && got <= s[len(s)-1]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestPercentileMonotone(t *testing.T) {
+	var d Digest
+	for i := 0; i < 1000; i++ {
+		d.Add(float64(i * i % 997))
+	}
+	prev := d.Percentile(0)
+	for p := 1.0; p <= 100; p++ {
+		cur := d.Percentile(p)
+		if cur < prev {
+			t.Fatalf("percentiles not monotone at %v: %v < %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	var d Digest
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	cdf := d.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	if cdf[9].P != 1.0 || cdf[9].X != 1000 {
+		t.Fatalf("last point = %+v", cdf[9])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+}
+
+func TestAddTime(t *testing.T) {
+	var d Digest
+	d.AddTime(2500 * sim.Microsecond)
+	if got := d.Mean(); got != 2.5 {
+		t.Fatalf("AddTime stored %v ms, want 2.5", got)
+	}
+}
+
+func TestSummaryFormats(t *testing.T) {
+	var d Digest
+	d.Add(1)
+	s := d.Summary("ms")
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func makeFlow(size int, done bool, fct sim.Time, ooo, rcvd, sent, retx uint64, maxOOD uint32) *transport.Flow {
+	f := &transport.Flow{ID: 1, Size: size, Done: done, OOOPkts: ooo, PktsRcvd: rcvd, PktsSent: sent, Retrans: retx, MaxOOD: maxOOD}
+	f.StartAt = 0
+	f.FinishAt = fct
+	return f
+}
+
+func TestBuildFlowReport(t *testing.T) {
+	flows := []*transport.Flow{
+		makeFlow(50*1000, true, 1*sim.Millisecond, 2, 100, 110, 10, 5),
+		makeFlow(500*1000, true, 4*sim.Millisecond, 0, 500, 500, 0, 0),
+		makeFlow(200*1000, false, 0, 1, 50, 60, 5, 3),
+	}
+	r := BuildFlowReport(flows)
+	if r.Flows != 3 || r.Completed != 2 {
+		t.Fatalf("flows=%d completed=%d", r.Flows, r.Completed)
+	}
+	if r.FCT.Count() != 2 {
+		t.Fatalf("FCT samples = %d", r.FCT.Count())
+	}
+	if r.SmallFCT.Count() != 1 || r.LargeFCT.Count() != 1 {
+		t.Fatal("size-class split wrong")
+	}
+	if got := r.OOORatio(); math.Abs(got-3.0/650.0) > 1e-9 {
+		t.Fatalf("OOORatio = %v", got)
+	}
+	if got := r.RetxRatio(); math.Abs(got-15.0/670.0) > 1e-9 {
+		t.Fatalf("RetxRatio = %v", got)
+	}
+	if r.OOD.Count() != 2 { // flows with MaxOOD > 0
+		t.Fatalf("OOD samples = %d", r.OOD.Count())
+	}
+	if r.TotalBytes != 550*1000 {
+		t.Fatalf("TotalBytes = %d", r.TotalBytes)
+	}
+}
+
+func TestReportEmptyDivisions(t *testing.T) {
+	r := BuildFlowReport(nil)
+	if r.OOORatio() != 0 || r.RetxRatio() != 0 {
+		t.Fatal("empty report ratios should be 0")
+	}
+	_ = r.String()
+}
+
+func TestPauseRate(t *testing.T) {
+	if got := PauseRate(500, 10*sim.Millisecond); got != 50 {
+		t.Fatalf("PauseRate = %v, want 50/ms", got)
+	}
+	if PauseRate(5, 0) != 0 {
+		t.Fatal("zero duration should give 0")
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/transport"
+)
+
+// FlowReport aggregates transport-level results over a set of flows, the raw
+// material for every figure in the paper.
+type FlowReport struct {
+	Flows      int
+	Completed  int
+	FCT        Digest // milliseconds, completed flows
+	SmallFCT   Digest // flows < SmallCutoff
+	LargeFCT   Digest
+	OOD        Digest // out-of-order degrees (packets), one sample per OOO arrival via hook or MaxOOD fallback
+	TotalRcvd  uint64
+	TotalOOO   uint64
+	TotalSent  uint64
+	TotalRetx  uint64
+	TotalBytes int64 // payload bytes of completed flows
+}
+
+// SmallCutoff separates small from large flows in per-class FCT stats.
+const SmallCutoff = 100 * 1000
+
+// BuildFlowReport summarizes flows; incomplete flows count toward Flows but
+// contribute no FCT samples.
+func BuildFlowReport(flows []*transport.Flow) *FlowReport {
+	r := &FlowReport{}
+	for _, f := range flows {
+		r.Flows++
+		r.TotalRcvd += f.PktsRcvd
+		r.TotalOOO += f.OOOPkts
+		r.TotalSent += f.PktsSent
+		r.TotalRetx += f.Retrans
+		if f.MaxOOD > 0 {
+			r.OOD.Add(float64(f.MaxOOD))
+		}
+		if !f.Done {
+			continue
+		}
+		r.Completed++
+		r.TotalBytes += int64(f.Size)
+		fct := f.FCT().Millis()
+		r.FCT.Add(fct)
+		if f.Size < SmallCutoff {
+			r.SmallFCT.Add(fct)
+		} else {
+			r.LargeFCT.Add(fct)
+		}
+	}
+	return r
+}
+
+// OOORatio returns the fraction of received data frames that arrived out of
+// order (the paper's "out-of-order packets (%)" metric).
+func (r *FlowReport) OOORatio() float64 {
+	if r.TotalRcvd == 0 {
+		return 0
+	}
+	return float64(r.TotalOOO) / float64(r.TotalRcvd)
+}
+
+// RetxRatio returns the fraction of transmissions that were go-back-N
+// retransmissions.
+func (r *FlowReport) RetxRatio() float64 {
+	if r.TotalSent == 0 {
+		return 0
+	}
+	return float64(r.TotalRetx) / float64(r.TotalSent)
+}
+
+// AvgFCTms returns the mean FCT in milliseconds.
+func (r *FlowReport) AvgFCTms() float64 { return r.FCT.Mean() }
+
+// TailFCTms returns the 99th-percentile FCT in milliseconds.
+func (r *FlowReport) TailFCTms() float64 { return r.FCT.Percentile(99) }
+
+// String formats the headline numbers.
+func (r *FlowReport) String() string {
+	return fmt.Sprintf("flows=%d done=%d afct=%.3fms p99=%.3fms ooo=%.2f%% retx=%.2f%%",
+		r.Flows, r.Completed, r.AvgFCTms(), r.TailFCTms(), 100*r.OOORatio(), 100*r.RetxRatio())
+}
+
+// PauseRate converts a PAUSE-frame count over a duration into frames/ms, the
+// unit used in Fig. 3(a).
+func PauseRate(pauseFrames uint64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(pauseFrames) / dur.Millis()
+}

@@ -1,0 +1,113 @@
+package sim
+
+// Event is a scheduled callback. Events are ordered by (At, seq) where seq is
+// the scheduling order, guaranteeing FIFO execution among same-time events.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// heap index, -1 when not queued; used for O(log n) cancellation.
+	index int
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or inspected.
+type Timer struct {
+	ev  *event
+	eng *Engine
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	t.eng.q.remove(t.ev)
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer has not yet fired or been stopped.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.index >= 0 }
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	q       eventHeap
+	seq     uint64
+	stopped bool
+
+	// Executed counts events dispatched so far (for stats and runaway guards).
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{q: eventHeap{items: make([]*event, 0, 1024)}}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.q.push(ev)
+	return &Timer{ev: ev, eng: e}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.q.len() }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= limit, then advances the clock
+// to limit (unless limit is MaxTime or Stop was called, in which case the
+// clock stays at the last executed event).
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.q.peek()
+		if ev == nil {
+			break
+		}
+		if ev.at > limit {
+			e.now = limit
+			return e.now
+		}
+		e.q.pop()
+		e.now = ev.at
+		if ev.fn != nil {
+			fn := ev.fn
+			ev.fn = nil
+			e.Executed++
+			fn()
+		}
+	}
+	if !e.stopped && limit != MaxTime && e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConstants(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Fatalf("Second = %d ps, want 1e12", int64(Second))
+	}
+	if Microsecond != 1000*Nanosecond {
+		t.Fatal("microsecond/nanosecond ratio wrong")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Microsecond).Micros(); got != 2.0 {
+		t.Errorf("Micros = %v, want 2", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+	if got := FromStd(3 * time.Microsecond); got != 3*Microsecond {
+		t.Errorf("FromStd = %v", got)
+	}
+	if got := (5 * Microsecond).Std(); got != 5*time.Microsecond {
+		t.Errorf("Std = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{3 * Microsecond, "3us"},
+		{4 * Millisecond, "4ms"},
+		{2 * Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestEngineAfterNesting(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.After(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*10, func() { count++ })
+	}
+	e.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now = %v, want 55", e.Now())
+	}
+	e.RunUntil(MaxTime)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// Run resumes after Stop.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 after resume", count)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.At(10, func() { fired = true })
+	if !timer.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !timer.Stop() {
+		t.Fatal("Stop should report true for pending timer")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	timer := e.At(10, func() {})
+	e.Run()
+	if timer.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if timer.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine()
+	timer := e.At(42, func() {})
+	if timer.When() != 42 {
+		t.Fatalf("When = %v", timer.When())
+	}
+	timer.Stop()
+}
+
+func TestHeapRandomizedOrdering(t *testing.T) {
+	// Property: events inserted in random order execute in sorted order.
+	check := func(times []uint16) bool {
+		e := NewEngine()
+		var executed []Time
+		for _, raw := range times {
+			tm := Time(raw)
+			e.At(tm, func() { executed = append(executed, tm) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(executed, func(i, j int) bool { return executed[i] < executed[j] }) &&
+			len(executed) == len(times)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapRandomizedCancellation(t *testing.T) {
+	// Property: with random cancellations, exactly the non-cancelled events
+	// fire, in time order.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 200
+		fired := make(map[int]bool)
+		timers := make([]*Timer, n)
+		for i := 0; i < n; i++ {
+			i := i
+			timers[i] = e.At(Time(r.Intn(1000)), func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < n/3; i++ {
+			j := r.Intn(n)
+			if timers[j].Stop() {
+				cancelled[j] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			if cancelled[i] && fired[i] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, i)
+			}
+			if !cancelled[i] && !fired[i] {
+				t.Fatalf("trial %d: live event %d did not fire", trial, i)
+			}
+		}
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed != 5 {
+		t.Fatalf("Executed = %d", e.Executed)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

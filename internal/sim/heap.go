@@ -1,0 +1,96 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). A hand-rolled
+// heap (rather than container/heap) avoids interface boxing on the hot path:
+// a busy simulation pushes and pops millions of events.
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	ev.index = len(h.items)
+	h.items = append(h.items, ev)
+	h.up(ev.index)
+}
+
+func (h *eventHeap) peek() *event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *eventHeap) pop() *event {
+	ev := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes an arbitrary queued event (for Timer.Stop).
+func (h *eventHeap) remove(ev *event) {
+	i := ev.index
+	if i < 0 || i >= len(h.items) || h.items[i] != ev {
+		return
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	ev.index = -1
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

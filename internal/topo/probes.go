@@ -1,0 +1,109 @@
+package topo
+
+import (
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// probeMonitor measures per-uplink round-trip times with real probe frames
+// instead of the oracle queue inspection: every Interval, the leaf emits one
+// probe per uplink; the spine reflects it back through the same port, and
+// the leaf keeps an EWMA of half the measured RTT as the uplink's one-way
+// delay estimate. This is the honest (in-band, delayed, quantized) version
+// of the path telemetry that DESIGN.md substitution 2 idealizes — enable it
+// with Params.ProbeInterval to study how much signal freshness matters.
+type probeMonitor struct {
+	net      *Network
+	leaf     int
+	interval sim.Time
+
+	// est[i] is the EWMA'd one-way delay estimate for uplink i.
+	est []sim.Time
+	// sentAt[i] is the departure time of the probe in flight on uplink i;
+	// lastSeq[i] identifies it so stale reflections are ignored.
+	sentAt  []sim.Time
+	lastSeq []uint32
+	seq     uint32
+
+	stopped bool
+	timer   *sim.Timer
+
+	// ProbesSent / ProbesRcvd count monitor activity.
+	ProbesSent uint64
+	ProbesRcvd uint64
+}
+
+// ewmaShift is the EWMA gain as a power of two: est += (sample - est) / 2^k.
+const ewmaShift = 2
+
+func newProbeMonitor(n *Network, leaf int, interval sim.Time) *probeMonitor {
+	m := &probeMonitor{
+		net:      n,
+		leaf:     leaf,
+		interval: interval,
+		est:      make([]sim.Time, n.P.Spines),
+		sentAt:   make([]sim.Time, n.P.Spines),
+		lastSeq:  make([]uint32, n.P.Spines),
+	}
+	base := 2 * n.P.LinkDelay
+	for i := range m.est {
+		m.est[i] = base
+	}
+	m.arm()
+	return m
+}
+
+func (m *probeMonitor) arm() {
+	m.timer = m.net.Eng.After(m.interval, func() {
+		if m.stopped {
+			return
+		}
+		m.emit()
+		m.arm()
+	})
+}
+
+// emit sends one probe out of every uplink. Probes ride the control class:
+// they measure propagation and the control path's serialization, plus the
+// data backlog indirectly via the spine's reflection time — an intentionally
+// imperfect signal, like real in-band telemetry.
+func (m *probeMonitor) emit() {
+	sw := m.net.Leaves[m.leaf]
+	for i := 0; i < m.net.P.Spines; i++ {
+		m.seq++
+		p := fabric.NewControl(fabric.Probe, sw.ID, -1)
+		p.Prio = fabric.PrioData // measure the data class, pause and all
+		p.FlowID = uint32(m.leaf)
+		p.Seq = m.seq
+		p.CNMsg.IngressPort = i // uplink index, echoed back
+		m.sentAt[i] = m.net.Eng.Now()
+		m.lastSeq[i] = m.seq
+		m.ProbesSent++
+		sw.Port(m.net.P.HostsPerLeaf + i).Enqueue(p)
+	}
+}
+
+// onReturn ingests a reflected probe.
+func (m *probeMonitor) onReturn(pkt *fabric.Packet) {
+	i := pkt.CNMsg.IngressPort
+	if i < 0 || i >= len(m.est) {
+		return
+	}
+	if pkt.Seq != m.lastSeq[i] {
+		return // superseded by a newer probe on this uplink
+	}
+	m.ProbesRcvd++
+	rtt := m.net.Eng.Now() - m.sentAt[i]
+	oneWay := rtt / 2
+	m.est[i] += (oneWay - m.est[i]) >> ewmaShift
+}
+
+// delay returns the probed one-way delay estimate for uplink i.
+func (m *probeMonitor) delay(i int) sim.Time { return m.est[i] }
+
+func (m *probeMonitor) stop() {
+	m.stopped = true
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+}

@@ -1,0 +1,179 @@
+// Package trace provides a lightweight event recorder for the simulator:
+// a fixed-size ring buffer of typed events (packet arrivals, PFC pause
+// transitions, CNM warnings, recirculations, drops) that switches and RLB
+// components publish when a buffer is attached. Tracing is strictly opt-in;
+// with no buffer attached the hot paths pay a single nil check.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	DataArrive Kind = iota
+	DataDepart
+	PauseOn
+	PauseOff
+	ECNMark
+	Recirculate
+	Drop
+	CNMSent
+	CNMRelayed
+	WarningSet
+	FlowDone
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case DataArrive:
+		return "DATA_ARRIVE"
+	case DataDepart:
+		return "DATA_DEPART"
+	case PauseOn:
+		return "PAUSE_ON"
+	case PauseOff:
+		return "PAUSE_OFF"
+	case ECNMark:
+		return "ECN_MARK"
+	case Recirculate:
+		return "RECIRC"
+	case Drop:
+		return "DROP"
+	case CNMSent:
+		return "CNM_SENT"
+	case CNMRelayed:
+		return "CNM_RELAY"
+	case WarningSet:
+		return "WARN_SET"
+	case FlowDone:
+		return "FLOW_DONE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence. Fields are reused across kinds: Dev is
+// the switch/host id, Port the ingress/egress/uplink index, Flow/Seq the
+// packet identity, Aux a kind-specific value (queue bytes, destination leaf).
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Dev  int
+	Port int
+	Flow uint32
+	Seq  uint32
+	Aux  int
+}
+
+// String formats one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-11s dev=%-4d port=%-3d flow=%-6d seq=%-6d aux=%d",
+		e.At, e.Kind, e.Dev, e.Port, e.Flow, e.Seq, e.Aux)
+}
+
+// Buffer is a fixed-capacity ring of events. The zero value is unusable;
+// create with NewBuffer. Buffers are not safe for concurrent use — one
+// buffer per simulation engine, like every other model component.
+type Buffer struct {
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+
+	// Filter, when set, drops events for which it returns false.
+	Filter func(Event) bool
+}
+
+// NewBuffer returns a ring buffer holding the last capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Buffer{ring: make([]Event, capacity)}
+}
+
+// Add records an event (subject to Filter).
+func (b *Buffer) Add(ev Event) {
+	if b == nil {
+		return
+	}
+	if b.Filter != nil && !b.Filter(ev) {
+		return
+	}
+	b.total++
+	b.ring[b.next] = ev
+	b.next++
+	if b.next == len(b.ring) {
+		b.next = 0
+		b.full = true
+	}
+}
+
+// Total counts all recorded events, including those already overwritten.
+func (b *Buffer) Total() uint64 { return b.total }
+
+// Len returns the number of events currently held.
+func (b *Buffer) Len() int {
+	if b.full {
+		return len(b.ring)
+	}
+	return b.next
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if !b.full {
+		out := make([]Event, b.next)
+		copy(out, b.ring[:b.next])
+		return out
+	}
+	out := make([]Event, 0, len(b.ring))
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// CountKind returns how many retained events have the given kind.
+func (b *Buffer) CountKind(k Kind) int {
+	n := 0
+	for _, ev := range b.Events() {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes the retained events, one per line.
+func (b *Buffer) Dump(w io.Writer) error {
+	for _, ev := range b.Events() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns a one-line histogram of retained event kinds.
+func (b *Buffer) Summary() string {
+	counts := map[Kind]int{}
+	for _, ev := range b.Events() {
+		counts[ev.Kind]++
+	}
+	var parts []string
+	for k := DataArrive; k <= FlowDone; k++ {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	return strings.Join(parts, " ")
+}

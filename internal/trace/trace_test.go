@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+func ev(at int, k Kind) Event { return Event{At: sim.Time(at), Kind: k} }
+
+func TestRingKeepsLastN(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Add(Event{At: sim.Time(i), Kind: DataArrive, Seq: uint32(i)})
+	}
+	got := b.Events()
+	if len(got) != 4 {
+		t.Fatalf("Len = %d", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint32(6+i) {
+			t.Fatalf("ring order wrong at %d: seq %d", i, e.Seq)
+		}
+	}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+}
+
+func TestPartialFill(t *testing.T) {
+	b := NewBuffer(8)
+	b.Add(ev(1, PauseOn))
+	b.Add(ev(2, PauseOff))
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	events := b.Events()
+	if events[0].Kind != PauseOn || events[1].Kind != PauseOff {
+		t.Fatal("order wrong")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(16)
+	b.Filter = func(e Event) bool { return e.Kind == PauseOn }
+	b.Add(ev(1, DataArrive))
+	b.Add(ev(2, PauseOn))
+	b.Add(ev(3, ECNMark))
+	if b.Len() != 1 || b.Events()[0].Kind != PauseOn {
+		t.Fatalf("filter failed: %v", b.Events())
+	}
+}
+
+func TestCountKindAndSummary(t *testing.T) {
+	b := NewBuffer(16)
+	b.Add(ev(1, PauseOn))
+	b.Add(ev(2, PauseOn))
+	b.Add(ev(3, CNMSent))
+	if b.CountKind(PauseOn) != 2 || b.CountKind(Drop) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+	s := b.Summary()
+	if !strings.Contains(s, "PAUSE_ON=2") || !strings.Contains(s, "CNM_SENT=1") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := NewBuffer(4)
+	b.Add(Event{At: 5 * sim.Microsecond, Kind: Recirculate, Dev: 3, Flow: 9})
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "RECIRC") || !strings.Contains(out, "dev=3") {
+		t.Fatalf("dump = %q", out)
+	}
+}
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Add(ev(1, Drop)) // must not panic
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := DataArrive; k <= FlowDone; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d missing name", k)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestRingProperty(t *testing.T) {
+	// Property: after adding n events to a buffer of capacity c, Events()
+	// returns min(n, c) items, chronologically the last ones added.
+	prop := func(cRaw, nRaw uint8) bool {
+		c := int(cRaw%32) + 1
+		n := int(nRaw)
+		b := NewBuffer(c)
+		for i := 0; i < n; i++ {
+			b.Add(Event{Seq: uint32(i)})
+		}
+		got := b.Events()
+		want := n
+		if want > c {
+			want = c
+		}
+		if len(got) != want {
+			return false
+		}
+		for i, e := range got {
+			if e.Seq != uint32(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

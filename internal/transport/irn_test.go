@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+func irnConfig() HostConfig {
+	cfg := DefaultHostConfig()
+	cfg.CCEnabled = false
+	cfg.SelectiveRepeat = true
+	return cfg
+}
+
+func TestIRNReorderingNoRewind(t *testing.T) {
+	n := newNet2(irnConfig(), 10*units.Gbps, sim.Microsecond)
+	// Same displacement as the go-back-N test: hold packet 10 for 50 us.
+	n.mb.hook = func(pkt *fabric.Packet) (bool, sim.Time) {
+		if pkt.Seq == 10 && !pkt.Retransmitted {
+			return true, 50 * sim.Microsecond
+		}
+		return true, 0
+	}
+	f := n.h1.StartFlow(1, n.h2, 100*1000)
+	n.eng.Run()
+	if !f.Done {
+		t.Fatal("flow incomplete")
+	}
+	if f.OOOPkts == 0 {
+		t.Fatal("reordering not observed")
+	}
+	// Selective repeat retransmits at most the one NAKed packet, instead of
+	// go-back-N's rewind of the whole window.
+	if f.Retrans > 2 {
+		t.Fatalf("IRN retransmitted %d packets for a single displacement", f.Retrans)
+	}
+}
+
+func TestIRNSingleDropSingleRetransmission(t *testing.T) {
+	n := newNet2(irnConfig(), 10*units.Gbps, sim.Microsecond)
+	dropped := false
+	n.mb.hook = func(pkt *fabric.Packet) (bool, sim.Time) {
+		if pkt.Seq == 20 && !dropped {
+			dropped = true
+			return false, 0
+		}
+		return true, 0
+	}
+	f := n.h1.StartFlow(1, n.h2, 100*1000)
+	n.eng.Run()
+	if !f.Done {
+		t.Fatal("flow incomplete")
+	}
+	if f.Retrans != 1 {
+		t.Fatalf("Retrans = %d, want exactly 1", f.Retrans)
+	}
+}
+
+func TestIRNMultipleDropsRecovered(t *testing.T) {
+	n := newNet2(irnConfig(), 10*units.Gbps, sim.Microsecond)
+	drops := map[uint32]bool{}
+	n.mb.hook = func(pkt *fabric.Packet) (bool, sim.Time) {
+		if pkt.Seq%25 == 7 && !pkt.Retransmitted && !drops[pkt.Seq] {
+			drops[pkt.Seq] = true
+			return false, 0
+		}
+		return true, 0
+	}
+	f := n.h1.StartFlow(1, n.h2, 200*1000)
+	n.eng.Run()
+	if !f.Done {
+		t.Fatal("flow incomplete after multiple drops")
+	}
+	if f.Retrans != uint64(len(drops)) {
+		t.Fatalf("Retrans = %d, want %d (one per drop)", f.Retrans, len(drops))
+	}
+}
+
+func TestIRNTailDropViaRTO(t *testing.T) {
+	n := newNet2(irnConfig(), 10*units.Gbps, sim.Microsecond)
+	dropped := false
+	n.mb.hook = func(pkt *fabric.Packet) (bool, sim.Time) {
+		if pkt.Seq == 99 && !dropped {
+			dropped = true
+			return false, 0
+		}
+		return true, 0
+	}
+	f := n.h1.StartFlow(1, n.h2, 100*1000)
+	n.eng.Run()
+	if !f.Done {
+		t.Fatal("tail drop not recovered")
+	}
+	if f.RTOs == 0 {
+		t.Fatal("RTO expected for tail drop")
+	}
+	if f.Retrans > 3 {
+		t.Fatalf("tail recovery retransmitted %d packets", f.Retrans)
+	}
+}
+
+func TestIRNVsGoBackNRetransmissionCost(t *testing.T) {
+	// Under identical periodic displacement, go-back-N must retransmit far
+	// more than selective repeat — the quantitative reason lossless fabrics
+	// with plain RoCE NICs care about reordering at all.
+	run := func(cfg HostConfig) *Flow {
+		n := newNet2(cfg, 10*units.Gbps, sim.Microsecond)
+		n.mb.hook = func(pkt *fabric.Packet) (bool, sim.Time) {
+			if pkt.Seq%40 == 11 && !pkt.Retransmitted {
+				return true, 30 * sim.Microsecond
+			}
+			return true, 0
+		}
+		f := n.h1.StartFlow(1, n.h2, 400*1000)
+		n.eng.Run()
+		return f
+	}
+	gbn := DefaultHostConfig()
+	gbn.CCEnabled = false
+	fG := run(gbn)
+	fI := run(irnConfig())
+	if !fG.Done || !fI.Done {
+		t.Fatal("flows incomplete")
+	}
+	if fI.Retrans*5 > fG.Retrans {
+		t.Fatalf("IRN (%d) should retransmit far less than go-back-N (%d)", fI.Retrans, fG.Retrans)
+	}
+}

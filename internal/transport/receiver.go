@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// receiver enforces in-order delivery for one flow. With ReseqBufPkts == 0 it
+// is the go-back-N NIC of the paper: an out-of-order frame is discarded, the
+// expected sequence is NAKed (once per gap), and the sender rewinds. A
+// non-zero resequencing buffer instead absorbs bounded reordering at the
+// edge (Presto's shim), still NAKing when the buffer cannot cover the gap.
+type receiver struct {
+	h *Host
+	f *Flow
+
+	expected uint32
+	// lastNakFor suppresses duplicate NAKs for the same gap.
+	lastNakFor uint32
+	lastCNPAt  sim.Time
+
+	reseq map[uint32]bool
+}
+
+func newReceiver(h *Host, f *Flow) *receiver {
+	r := &receiver{h: h, f: f, lastNakFor: ^uint32(0), lastCNPAt: -sim.Second}
+	if h.Cfg.ReseqBufPkts > 0 || h.Cfg.SelectiveRepeat {
+		r.reseq = make(map[uint32]bool)
+	}
+	return r
+}
+
+func (r *receiver) onData(pkt *fabric.Packet) {
+	f := r.f
+	f.PktsRcvd++
+	if pkt.CE {
+		r.maybeCNP()
+	}
+	if f.Done {
+		return
+	}
+	seq := pkt.Seq
+	switch {
+	case seq == r.expected:
+		r.advance()
+	case seq > r.expected:
+		ood := seq - r.expected
+		f.OOOPkts++
+		if ood > f.MaxOOD {
+			f.MaxOOD = ood
+		}
+		if r.h.OODHook != nil {
+			r.h.OODHook(f, ood)
+		}
+		if r.h.Cfg.SelectiveRepeat {
+			// IRN: keep the arrival, request only the missing packet.
+			if r.reseq[seq] {
+				f.Dups++
+				return
+			}
+			r.reseq[seq] = true
+			if r.lastNakFor != r.expected {
+				r.lastNakFor = r.expected
+				r.h.sendControl(fabric.Nak, f.ID, f.Src, r.expected)
+			}
+			return
+		}
+		if r.reseq != nil && ood <= r.h.Cfg.ReseqBufPkts {
+			r.reseq[seq] = true
+			return
+		}
+		// Go-back-N: discard and ask for the expected sequence, once per gap.
+		if r.lastNakFor != r.expected {
+			r.lastNakFor = r.expected
+			r.h.sendControl(fabric.Nak, f.ID, f.Src, r.expected)
+		}
+	default:
+		// Duplicate from a rewind whose original eventually arrived; re-ACK
+		// so the sender's cumulative state advances.
+		f.Dups++
+		if f.Dups%uint64(r.h.Cfg.AckEvery) == 1 {
+			r.h.sendControl(fabric.Ack, f.ID, f.Src, r.expected)
+		}
+	}
+}
+
+// advance consumes the expected frame and any buffered successors, emitting
+// coalesced ACKs and detecting completion.
+func (r *receiver) advance() {
+	f := r.f
+	r.expected++
+	for r.reseq != nil && r.reseq[r.expected] {
+		delete(r.reseq, r.expected)
+		r.expected++
+	}
+	if r.expected >= f.NumPkts {
+		f.Done = true
+		f.FinishAt = r.h.Eng.Now()
+		r.h.sendControl(fabric.Ack, f.ID, f.Src, r.expected)
+		if r.h.OnFlowDone != nil {
+			r.h.OnFlowDone(f)
+		}
+		return
+	}
+	if r.expected%r.h.Cfg.AckEvery == 0 {
+		r.h.sendControl(fabric.Ack, f.ID, f.Src, r.expected)
+	}
+}
+
+// maybeCNP emits a DCQCN congestion notification, rate-limited per flow.
+func (r *receiver) maybeCNP() {
+	now := r.h.Eng.Now()
+	if now-r.lastCNPAt < r.h.Cfg.CC.CNPInterval {
+		return
+	}
+	r.lastCNPAt = now
+	r.f.CNPsSent++
+	r.h.sendControl(fabric.CNP, r.f.ID, r.f.Src, 0)
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"github.com/rlb-project/rlb/internal/dcqcn"
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+// sender paces one flow's data frames at the DCQCN-allowed rate and rewinds
+// on NAKs (go-back-N).
+type sender struct {
+	h *Host
+	f *Flow
+
+	rp *dcqcn.RP // nil when CC disabled
+
+	next    uint32 // next sequence to transmit
+	una     uint32 // lowest unacknowledged sequence
+	maxSent uint32 // highest sequence transmitted so far (retrans detection)
+	done    bool
+
+	// rtx queues individual sequences for selective-repeat retransmission
+	// (IRN mode); unused under go-back-N.
+	rtx     []uint32
+	rtxMark map[uint32]bool
+
+	pacer *sim.Timer
+	rto   *sim.Timer
+}
+
+func newSender(h *Host, f *Flow) *sender {
+	s := &sender{h: h, f: f}
+	if h.Cfg.CCEnabled {
+		s.rp = dcqcn.NewRP(h.Eng, h.Cfg.CC, h.LineRate())
+	}
+	return s
+}
+
+func (s *sender) start() { s.pump() }
+
+func (s *sender) rate() units.Bandwidth {
+	if s.rp != nil {
+		return s.rp.Rate()
+	}
+	return s.h.LineRate()
+}
+
+// pump transmits the next frame if allowed and schedules the next attempt.
+func (s *sender) pump() {
+	if s.done {
+		return
+	}
+	if s.pacer != nil {
+		s.pacer.Stop()
+		s.pacer = nil
+	}
+	if len(s.rtx) == 0 && s.next >= s.f.NumPkts {
+		// Everything sent once; wait for ACK/NAK, with a timeout as the
+		// last-resort recovery for tail loss.
+		s.armRTO()
+		return
+	}
+	// NIC backpressure: when PFC has paused the NIC (or the queue is simply
+	// deep), hold off instead of growing the egress queue without bound.
+	if s.h.nic.QueuedBytes(fabric.PrioData) >= s.h.Cfg.NICQueueCap {
+		s.pacer = s.h.Eng.After(units.TxTime(s.h.Cfg.MTU, s.h.LineRate()), func() { s.pump() })
+		return
+	}
+	var seq uint32
+	if len(s.rtx) > 0 {
+		// Selective repeat: retransmissions take priority over new data.
+		seq = s.rtx[0]
+		s.rtx = s.rtx[1:]
+		delete(s.rtxMark, seq)
+	} else {
+		seq = s.next
+		s.next++
+	}
+	pkt := fabric.NewData(s.f.ID, seq, s.h.Cfg.MTU, s.f.Src, s.f.Dst)
+	pkt.SentAt = s.h.Eng.Now()
+	if seq < s.maxSent {
+		pkt.Retransmitted = true
+		s.f.Retrans++
+	} else {
+		s.maxSent = s.next
+	}
+	s.f.PktsSent++
+	s.h.nic.Enqueue(pkt)
+	if s.rp != nil {
+		s.rp.NotifySent(pkt.Size)
+	}
+	s.pacer = s.h.Eng.After(units.TxTime(pkt.Size, s.rate()), func() { s.pump() })
+}
+
+func (s *sender) onAckNak(pkt *fabric.Packet) {
+	if s.done {
+		return
+	}
+	s.disarmRTO()
+	switch pkt.Type {
+	case fabric.Ack:
+		if pkt.AckNk.Seq > s.una {
+			s.una = pkt.AckNk.Seq
+		}
+		if s.una >= s.f.NumPkts {
+			s.finish()
+			return
+		}
+		if s.next >= s.f.NumPkts {
+			s.armRTO()
+		}
+	case fabric.Nak:
+		if pkt.AckNk.Seq > s.una {
+			s.una = pkt.AckNk.Seq
+		}
+		if s.h.Cfg.SelectiveRepeat {
+			s.queueRtx(pkt.AckNk.Seq)
+			s.pump()
+			return
+		}
+		// Go-back-N: resume transmission from the receiver's expected
+		// sequence; everything after it will be sent again.
+		if pkt.AckNk.Seq < s.next {
+			s.next = pkt.AckNk.Seq
+		}
+		s.pump()
+	}
+}
+
+func (s *sender) onCNP() {
+	if s.rp != nil {
+		s.rp.OnCNP()
+	}
+}
+
+func (s *sender) armRTO() {
+	if s.rto != nil && s.rto.Pending() {
+		return
+	}
+	s.rto = s.h.Eng.After(s.h.Cfg.RTO, func() {
+		if s.done {
+			return
+		}
+		s.f.RTOs++
+		if s.h.Cfg.SelectiveRepeat {
+			s.queueRtx(s.una)
+		} else {
+			s.next = s.una
+		}
+		s.pump()
+	})
+}
+
+// queueRtx schedules one sequence for selective retransmission (idempotent).
+func (s *sender) queueRtx(seq uint32) {
+	if seq >= s.f.NumPkts {
+		return
+	}
+	if s.rtxMark == nil {
+		s.rtxMark = make(map[uint32]bool)
+	}
+	if s.rtxMark[seq] {
+		return
+	}
+	s.rtxMark[seq] = true
+	s.rtx = append(s.rtx, seq)
+}
+
+func (s *sender) disarmRTO() {
+	if s.rto != nil {
+		s.rto.Stop()
+		s.rto = nil
+	}
+}
+
+func (s *sender) finish() {
+	s.done = true
+	s.disarmRTO()
+	if s.pacer != nil {
+		s.pacer.Stop()
+		s.pacer = nil
+	}
+	if s.rp != nil {
+		s.rp.Close()
+	}
+}

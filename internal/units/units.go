@@ -1,0 +1,69 @@
+// Package units defines bandwidth and size types shared across the simulator,
+// and the arithmetic between them (serialization time, bytes-per-interval).
+package units
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// Bandwidth is a link or sending rate in bits per second.
+type Bandwidth int64
+
+// Common rates.
+const (
+	BitPerSecond Bandwidth = 1
+	Kbps                   = 1000 * BitPerSecond
+	Mbps                   = 1000 * Kbps
+	Gbps                   = 1000 * Mbps
+)
+
+// String formats the bandwidth with an adaptive unit.
+func (b Bandwidth) String() string {
+	switch {
+	case b >= Gbps:
+		return fmt.Sprintf("%gGbps", float64(b)/float64(Gbps))
+	case b >= Mbps:
+		return fmt.Sprintf("%gMbps", float64(b)/float64(Mbps))
+	case b >= Kbps:
+		return fmt.Sprintf("%gKbps", float64(b)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(b))
+	}
+}
+
+// Common byte sizes.
+const (
+	Byte = 1
+	KB   = 1000 * Byte
+	MB   = 1000 * KB
+	KiB  = 1024 * Byte
+	MiB  = 1024 * KiB
+)
+
+// TxTime returns the time to serialize bytes onto a link of rate b.
+// Computed in picoseconds without floating point: ps = bytes*8*1e12/bps.
+func TxTime(bytes int, b Bandwidth) sim.Time {
+	if b <= 0 {
+		panic("units: non-positive bandwidth")
+	}
+	// ps = bytes*8 * 1e12 / bps; the product exceeds 64 bits for large
+	// transfers, so use a 128-bit intermediate.
+	hi, lo := bits.Mul64(uint64(bytes)*8, 1e12)
+	q, _ := bits.Div64(hi, lo, uint64(b))
+	return sim.Time(q)
+}
+
+// BytesIn returns how many whole bytes rate b delivers in duration d.
+func BytesIn(b Bandwidth, d sim.Time) int {
+	if d < 0 || b <= 0 {
+		return 0
+	}
+	// bytes = bps * ps / 8e12; the product can exceed 64 bits, so use a
+	// 128-bit intermediate.
+	hi, lo := bits.Mul64(uint64(b), uint64(d))
+	q, _ := bits.Div64(hi, lo, 8e12)
+	return int(q)
+}

@@ -1,0 +1,84 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+func TestTxTimeExact(t *testing.T) {
+	// 1000 bytes at 40 Gb/s = 8000 bits / 40e9 bps = 200 ns exactly.
+	if got := TxTime(1000, 40*Gbps); got != 200*sim.Nanosecond {
+		t.Fatalf("TxTime(1000B, 40Gbps) = %v, want 200ns", got)
+	}
+	// 64 bytes at 10 Gb/s = 512 / 1e10 s = 51.2 ns.
+	if got := TxTime(64, 10*Gbps); got != 51200*sim.Picosecond {
+		t.Fatalf("TxTime(64B, 10Gbps) = %v, want 51.2ns", got)
+	}
+}
+
+func TestTxTimeLargeNoOverflow(t *testing.T) {
+	// 250 MB at 40 Gb/s = 2e9 bits / 4e10 = 50 ms.
+	if got := TxTime(250*MB, 40*Gbps); got != 50*sim.Millisecond {
+		t.Fatalf("TxTime(250MB, 40Gbps) = %v, want 50ms", got)
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bandwidth")
+		}
+	}()
+	TxTime(100, 0)
+}
+
+func TestBytesInRoundTrip(t *testing.T) {
+	// BytesIn inverts TxTime for exact cases.
+	prop := func(kb uint16, gb uint8) bool {
+		bytes := int(kb)*KB + 1
+		rate := Bandwidth(int(gb)%100+1) * Gbps
+		d := TxTime(bytes, rate)
+		got := BytesIn(rate, d)
+		// Truncation may lose at most one byte.
+		return got == bytes || got == bytes-1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesInNegative(t *testing.T) {
+	if got := BytesIn(40*Gbps, -5); got != 0 {
+		t.Fatalf("BytesIn negative duration = %d, want 0", got)
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{40 * Gbps, "40Gbps"},
+		{100 * Mbps, "100Mbps"},
+		{5 * Kbps, "5Kbps"},
+		{12 * BitPerSecond, "12bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTxTimeMonotonicInSize(t *testing.T) {
+	prev := sim.Time(0)
+	for size := 1; size < 100000; size += 97 {
+		cur := TxTime(size, 25*Gbps)
+		if cur < prev {
+			t.Fatalf("TxTime not monotonic at %d bytes", size)
+		}
+		prev = cur
+	}
+}

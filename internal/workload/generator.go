@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"github.com/rlb-project/rlb/internal/rng"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+// StartFunc is how generators inject flows into a network.
+type StartFunc func(src, dst, size int)
+
+// Poisson generates flows between random host pairs with exponential
+// inter-arrival times calibrated so the aggregate offered traffic equals
+// Load x LineRate x |Hosts| (the paper's load definition, varied 0.2-0.7).
+type Poisson struct {
+	Eng  *sim.Engine
+	Rng  *rng.Source
+	Dist *SizeDist
+	// Hosts are the candidate endpoints.
+	Hosts []int
+	// HostsPerLeaf, with InterLeafOnly, restricts pairs to distinct leaves
+	// so all generated traffic crosses the network core.
+	HostsPerLeaf  int
+	InterLeafOnly bool
+	Load          float64
+	LineRate      units.Bandwidth
+	Start         StartFunc
+	// CapBytes truncates sampled sizes and recalibrates the arrival rate to
+	// the truncated mean, keeping the offered load at its nominal value.
+	CapBytes int
+
+	// Generated counts flows injected.
+	Generated int
+
+	stopAt sim.Time
+}
+
+// Run schedules arrivals from now until now+duration.
+func (p *Poisson) Run(duration sim.Time) {
+	if p.Load <= 0 || len(p.Hosts) < 2 {
+		return
+	}
+	p.stopAt = p.Eng.Now() + duration
+	p.scheduleNext()
+}
+
+// lambda returns arrivals per second.
+func (p *Poisson) lambda() float64 {
+	bitsPerSec := p.Load * float64(p.LineRate) * float64(len(p.Hosts))
+	return bitsPerSec / (8 * p.Dist.MeanCapped(p.CapBytes))
+}
+
+func (p *Poisson) scheduleNext() {
+	gapSec := p.Rng.ExpFloat64() / p.lambda()
+	gap := sim.Time(gapSec * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	at := p.Eng.Now() + gap
+	if at >= p.stopAt {
+		return
+	}
+	p.Eng.At(at, func() {
+		src, dst := p.pickPair()
+		p.Generated++
+		size := p.Dist.Sample(p.Rng)
+		if p.CapBytes > 0 && size > p.CapBytes {
+			size = p.CapBytes
+		}
+		p.Start(src, dst, size)
+		p.scheduleNext()
+	})
+}
+
+func (p *Poisson) pickPair() (src, dst int) {
+	for tries := 0; ; tries++ {
+		src = p.Hosts[p.Rng.Intn(len(p.Hosts))]
+		dst = p.Hosts[p.Rng.Intn(len(p.Hosts))]
+		if src == dst {
+			continue
+		}
+		if p.InterLeafOnly && p.HostsPerLeaf > 0 && src/p.HostsPerLeaf == dst/p.HostsPerLeaf && tries < 64 {
+			continue
+		}
+		return src, dst
+	}
+}
+
+// Incast makes every server send totalBytes/len(servers) to client
+// simultaneously — one incast initiation of §4.3.
+func Incast(start StartFunc, client int, servers []int, totalBytes int) {
+	if len(servers) == 0 {
+		return
+	}
+	per := totalBytes / len(servers)
+	if per < 1 {
+		per = 1
+	}
+	for _, s := range servers {
+		if s == client {
+			continue
+		}
+		start(s, client, per)
+	}
+}
+
+// Bursts reproduces the Fig. 2 burst pattern: at times i*gap (i <
+// numBursts), every host in hosts starts flowsPerBurst flows of flowSize
+// bytes to target, at line rate.
+func Bursts(eng *sim.Engine, start StartFunc, hosts []int, target int, flowsPerBurst, flowSize, numBursts int, gap sim.Time) {
+	for i := 0; i < numBursts; i++ {
+		at := eng.Now() + sim.Time(i)*gap
+		eng.At(at, func() {
+			for _, h := range hosts {
+				for k := 0; k < flowsPerBurst; k++ {
+					start(h, target, flowSize)
+				}
+			}
+		})
+	}
+}

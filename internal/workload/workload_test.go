@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/rng"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+func TestAllDistributionsValid(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadCDFs(t *testing.T) {
+	bad := []*SizeDist{
+		{Name: "short", Sizes: []int{10}, Probs: []float64{1}},
+		{Name: "mismatch", Sizes: []int{10, 20}, Probs: []float64{1}},
+		{Name: "nonmono-size", Sizes: []int{20, 10}, Probs: []float64{0, 1}},
+		{Name: "nonmono-prob", Sizes: []int{10, 20}, Probs: []float64{0.5, 0.2}},
+		{Name: "no-one", Sizes: []int{10, 20}, Probs: []float64{0, 0.9}},
+	}
+	for _, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("%s: invalid CDF accepted", d.Name)
+		}
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	r := rng.New(1)
+	for _, d := range All() {
+		lo, hi := d.Sizes[0], d.MaxSize()
+		for i := 0; i < 10000; i++ {
+			s := d.Sample(r)
+			if s < lo || s > hi {
+				t.Fatalf("%s: sample %d outside [%d, %d]", d.Name, s, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSampleMeanMatchesAnalytic(t *testing.T) {
+	r := rng.New(2)
+	for _, d := range All() {
+		const n = 300000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(r))
+		}
+		got := sum / n
+		want := d.Mean()
+		if got < 0.9*want || got > 1.1*want {
+			t.Errorf("%s: sample mean %.0f vs analytic %.0f", d.Name, got, want)
+		}
+	}
+}
+
+func TestPaperHeadlineStatistics(t *testing.T) {
+	// Web Search mean ~1.6 MB (paper §2.2.1 uses "average flow size 1.6MB").
+	ws := WebSearch()
+	if m := ws.Mean(); m < 1.0e6 || m > 2.5e6 {
+		t.Errorf("websearch mean %.0f outside [1MB, 2.5MB]", m)
+	}
+	// Data Mining: 83%% of flows smaller than 100 KB, heavy tail to ~1 GB.
+	dm := DataMining()
+	if f := dm.FracBelow(100 * 1000); f < 0.80 || f > 0.90 {
+		t.Errorf("datamining P(<100KB) = %.2f, want ~0.83", f)
+	}
+	if dm.MaxSize() < 100e6 {
+		t.Error("datamining tail too short")
+	}
+	// Web Server: all flows < 1 MB.
+	wsrv := WebServer()
+	if wsrv.MaxSize() > 1000*1000 {
+		t.Errorf("webserver max %d > 1MB", wsrv.MaxSize())
+	}
+	// Paper: average flow sizes across workloads range 64 KB ... 7.41 MB.
+	for _, d := range All() {
+		if m := d.Mean(); m < 30e3 || m > 10e6 {
+			t.Errorf("%s mean %.0f outside plausible range", d.Name, m)
+		}
+	}
+}
+
+func TestFracBelowEdges(t *testing.T) {
+	d := WebSearch()
+	if d.FracBelow(0) != 0 {
+		t.Fatal("FracBelow(0) != 0")
+	}
+	if d.FracBelow(d.MaxSize()+1) != 1 {
+		t.Fatal("FracBelow(max+1) != 1")
+	}
+	mid := d.FracBelow(133000)
+	if mid < 0.59 || mid > 0.61 {
+		t.Fatalf("FracBelow(133KB) = %v, want 0.6", mid)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"websearch", "datamining", "webserver", "cachefollower"} {
+		d, err := ByName(name)
+		if err != nil || d.Name != name {
+			t.Errorf("ByName(%s) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestPoissonLoadCalibration(t *testing.T) {
+	eng := sim.NewEngine()
+	var flows []int
+	bytes := 0
+	p := &Poisson{
+		Eng:      eng,
+		Rng:      rng.New(7),
+		Dist:     WebServer(),
+		Hosts:    []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Load:     0.5,
+		LineRate: 10 * units.Gbps,
+		Start: func(src, dst, size int) {
+			flows = append(flows, size)
+			bytes += size
+		},
+	}
+	dur := 100 * sim.Millisecond
+	p.Run(dur)
+	eng.Run()
+	if p.Generated == 0 {
+		t.Fatal("no flows generated")
+	}
+	// Offered bits should be ~ load * rate * hosts * time.
+	want := 0.5 * 10e9 * 8 * 0.1 / 8 // bytes
+	got := float64(bytes)
+	if got < 0.7*want || got > 1.3*want {
+		t.Fatalf("offered bytes %.3g, want ~%.3g", got, want)
+	}
+}
+
+func TestPoissonInterLeafOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	p := &Poisson{
+		Eng:           eng,
+		Rng:           rng.New(9),
+		Dist:          WebServer(),
+		Hosts:         []int{0, 1, 2, 3, 4, 5, 6, 7},
+		HostsPerLeaf:  4,
+		InterLeafOnly: true,
+		Load:          0.3,
+		LineRate:      10 * units.Gbps,
+		Start: func(src, dst, size int) {
+			if src/4 == dst/4 {
+				t.Errorf("intra-leaf pair %d->%d generated", src, dst)
+			}
+		},
+	}
+	p.Run(20 * sim.Millisecond)
+	eng.Run()
+}
+
+func TestPoissonRespectsDuration(t *testing.T) {
+	eng := sim.NewEngine()
+	var last sim.Time
+	p := &Poisson{
+		Eng: eng, Rng: rng.New(3), Dist: WebServer(),
+		Hosts: []int{0, 1}, Load: 0.4, LineRate: 10 * units.Gbps,
+		Start: func(_, _, _ int) { last = eng.Now() },
+	}
+	p.Run(5 * sim.Millisecond)
+	eng.Run()
+	if last > 5*sim.Millisecond {
+		t.Fatalf("flow generated at %v, past duration", last)
+	}
+}
+
+func TestIncastSplitsResponse(t *testing.T) {
+	var starts [][3]int
+	start := func(src, dst, size int) { starts = append(starts, [3]int{src, dst, size}) }
+	Incast(start, 0, []int{1, 2, 3, 4}, 4_000_000)
+	if len(starts) != 4 {
+		t.Fatalf("%d flows, want 4", len(starts))
+	}
+	for _, s := range starts {
+		if s[1] != 0 || s[2] != 1_000_000 {
+			t.Fatalf("bad incast flow %v", s)
+		}
+	}
+}
+
+func TestIncastSkipsClientAsServer(t *testing.T) {
+	var n int
+	Incast(func(_, _, _ int) { n++ }, 3, []int{1, 2, 3}, 300)
+	if n != 2 {
+		t.Fatalf("client acted as server: %d flows", n)
+	}
+}
+
+func TestBurstsSchedule(t *testing.T) {
+	eng := sim.NewEngine()
+	type ev struct {
+		at   sim.Time
+		src  int
+		size int
+	}
+	var evs []ev
+	start := func(src, dst, size int) { evs = append(evs, ev{eng.Now(), src, size}) }
+	Bursts(eng, start, []int{5, 6}, 0, 3, 64*1000, 2, sim.Millisecond)
+	eng.Run()
+	if len(evs) != 12 { // 2 bursts x 2 hosts x 3 flows
+		t.Fatalf("%d flows, want 12", len(evs))
+	}
+	if evs[0].at != 0 || evs[11].at != sim.Millisecond {
+		t.Fatalf("burst times wrong: first %v last %v", evs[0].at, evs[11].at)
+	}
+	for _, e := range evs {
+		if e.size != 64*1000 {
+			t.Fatal("burst size wrong")
+		}
+	}
+}
+
+func TestMeanCapped(t *testing.T) {
+	d := DataMining()
+	full := d.Mean()
+	if got := d.MeanCapped(0); got != full {
+		t.Fatalf("cap 0 should mean uncapped: %v vs %v", got, full)
+	}
+	if got := d.MeanCapped(d.MaxSize() + 1); got != full {
+		t.Fatal("cap beyond max should equal full mean")
+	}
+	capped := d.MeanCapped(2_000_000)
+	if capped >= full {
+		t.Fatalf("capped mean %v not below full %v", capped, full)
+	}
+	// Monotone in the cap.
+	prev := 0.0
+	for _, c := range []int{1000, 10_000, 100_000, 1_000_000, 100_000_000} {
+		m := d.MeanCapped(c)
+		if m < prev {
+			t.Fatalf("MeanCapped not monotone at %d", c)
+		}
+		prev = m
+	}
+	// Agreement with Monte Carlo.
+	r := rng.New(5)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		if s > 2_000_000 {
+			s = 2_000_000
+		}
+		sum += float64(s)
+	}
+	mc := sum / n
+	if capped < 0.9*mc || capped > 1.1*mc {
+		t.Fatalf("MeanCapped %v vs Monte Carlo %v", capped, mc)
+	}
+}
+
+func TestPoissonCapCalibration(t *testing.T) {
+	eng := sim.NewEngine()
+	bytes := 0
+	p := &Poisson{
+		Eng: eng, Rng: rng.New(12), Dist: DataMining(),
+		Hosts: []int{0, 1, 2, 3}, Load: 0.5, LineRate: 10 * units.Gbps,
+		CapBytes: 2_000_000,
+		Start:    func(_, _, size int) { bytes += size },
+	}
+	dur := 200 * sim.Millisecond
+	p.Run(dur)
+	eng.Run()
+	want := 0.5 * 10e9 * 4 * 0.2 / 8 // offered bytes at nominal load
+	got := float64(bytes)
+	if got < 0.7*want || got > 1.3*want {
+		t.Fatalf("capped datamining offered %.3g bytes, want ~%.3g", got, want)
+	}
+}
