@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test short race vet golden bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: the full suite, including the bench-scale golden-figure
+# regression (see TESTING.md).
+test:
+	$(GO) test ./...
+
+# Quick iteration loop: skips the bench-scale golden run.
+short:
+	$(GO) test -short ./...
+
+# Race-enabled pass over the simulator internals. The strict invariant tier
+# runs inside TestStrictInvariantsCleanAcrossSchemes, so this exercises the
+# harness's worker parallelism, the checker, and the data plane together.
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Refresh the committed golden figures after an intentional behavior change,
+# then review the diff (TESTING.md explains what "intentional" means here).
+golden:
+	$(GO) test ./internal/harness/ -run TestGoldenFigures -update-golden
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

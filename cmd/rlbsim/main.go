@@ -6,6 +6,7 @@
 //	rlbsim -scheme drill -workload websearch -load 0.6
 //	rlbsim -scheme drill+rlb -workload datamining -load 0.4 -asym
 //	rlbsim -scheme presto+rlb -leaves 4 -spines 6 -hosts 6 -duration 10ms
+//	rlbsim -scheme ecmp -kill 2 -kill-at 1ms -restore-at 3ms -strict
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"github.com/rlb-project/rlb/internal/harness"
 	"github.com/rlb-project/rlb/internal/metrics"
 	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/topo"
 	"github.com/rlb-project/rlb/internal/trace"
 	"github.com/rlb-project/rlb/internal/units"
 	"github.com/rlb-project/rlb/internal/workload"
@@ -41,6 +43,10 @@ func main() {
 	noRecirc := flag.Bool("norecirc", false, "RLB ablation: disable packet recirculation")
 	traceN := flag.Int("trace", 0, "record the last N control-plane events and dump them")
 	probe := flag.Duration("probe", 0, "use in-band probe telemetry at this interval instead of oracle path state (0 = oracle)")
+	kill := flag.Int("kill", 0, "fault plane: kill this many of leaf 0's spine uplinks")
+	killAt := flag.Duration("kill-at", time.Millisecond, "fault plane: when to kill the links")
+	restoreAt := flag.Duration("restore-at", 0, "fault plane: when to restore them (0 = never)")
+	strict := flag.Bool("strict", false, "enable the strict invariant-checker tier")
 	flag.Parse()
 
 	dist, err := workload.ByName(*wl)
@@ -80,11 +86,21 @@ func main() {
 	}
 	sch.Apply(&p)
 
+	var faults []topo.Fault
+	if *kill > 0 {
+		if *kill > *spines {
+			fmt.Fprintf(os.Stderr, "rlbsim: -kill %d exceeds %d spines\n", *kill, *spines)
+			os.Exit(2)
+		}
+		faults = harness.KillUplinks(0, *kill, sim.FromStd(*killAt), sim.FromStd(*restoreAt))
+	}
+
 	var cfgs []harness.RunConfig
 	for i := 0; i < *seeds; i++ {
 		cfgs = append(cfgs, harness.RunConfig{
 			Topo: p, Workload: dist, Load: *load, MaxFlowBytes: *capBytes,
 			Duration: scale.Duration, Drain: scale.Drain, Seed: *seed + uint64(i)*1000,
+			Faults: faults, StrictInvariants: *strict,
 		})
 	}
 	results := harness.RunAll(cfgs)
@@ -99,6 +115,16 @@ func main() {
 		fmt.Printf("scheme=%s workload=%s load=%.2f seeds=%d\n", sch.Name, dist.Name, *load, *seeds)
 		fmt.Printf("avg over seeds: afct=%.4gms p50=%.4gms p99=%.4gms ooo=%.3g%%\n",
 			afct.Mean(), p50.Mean(), p99.Mean(), ooo.Mean())
+		var viol, lost uint64
+		for _, res := range results {
+			viol += uint64(len(res.Violations))
+			lost += res.WireLost
+		}
+		if viol > 0 {
+			fmt.Printf("INVARIANT VIOLATIONS: %d across %d seeds (rerun with -seeds 1 for detail)\n", viol, *seeds)
+		} else if *strict {
+			fmt.Printf("invariants: ok across %d seeds (strict); %d frames lost on the wire\n", *seeds, lost)
+		}
 		return
 	}
 	res := results[0]
@@ -114,6 +140,17 @@ func main() {
 	fmt.Printf("retx:       %.3f%% of %d sent frames\n", 100*r.RetxRatio(), r.TotalSent)
 	fmt.Printf("pfc:        %d PAUSE frames (%.1f/ms), %d drops\n",
 		res.Pauses, metrics.PauseRate(res.Pauses, res.SimTime), res.Drops)
+	if *kill > 0 || *strict {
+		fmt.Printf("faults:     %d links killed, %d frames lost on the wire\n", *kill, res.WireLost)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Printf("INVARIANT VIOLATIONS (%d, of %d checks):\n", len(res.Violations), res.InvariantChecks)
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	} else if *strict {
+		fmt.Printf("invariants: ok (%d checks, strict)\n", res.InvariantChecks)
+	}
 	fmt.Printf("rlb:        %d warnings accepted, %d recirculations\n", res.Warnings, res.Recircs)
 	if res.Agents.PicksTotal > 0 {
 		a := res.Agents

@@ -68,6 +68,11 @@ type Agent struct {
 	// warned[uplink] maps destination leaf (-1 = any) to warning expiry.
 	warned []map[int]sim.Time
 
+	// faults[uplink] maps destination leaf (-1 = the whole uplink) to
+	// link-state faults reported by the fault plane. Unlike CNM warnings
+	// they do not expire; they are cleared when the link is restored.
+	faults []map[int]bool
+
 	// mem tracks each flow's previous uplink for the order guard.
 	mem map[uint32]flowMem
 
@@ -83,12 +88,40 @@ func NewAgent(base lb.Chooser, params Params, uplinkPortBase, numUplinks int, ds
 		NumUplinks:     numUplinks,
 		DstLeafOf:      dstLeafOf,
 		warned:         make([]map[int]sim.Time, numUplinks),
+		faults:         make([]map[int]bool, numUplinks),
 		mem:            make(map[uint32]flowMem),
 	}
 	for i := range a.warned {
 		a.warned[i] = make(map[int]sim.Time)
+		a.faults[i] = make(map[int]bool)
 	}
 	return a
+}
+
+// SetLinkFault records link-state from the fault plane: uplink i is dead
+// toward dstLeaf (-1 = dead entirely) until cleared with down=false. Faulted
+// paths behave like permanently warned ones, except the order guard does not
+// hold flows on them — predecessors committed to a dead path are stalled or
+// lost, so staying put can only blackhole more packets.
+func (a *Agent) SetLinkFault(uplink, dstLeaf int, down bool) {
+	if uplink < 0 || uplink >= a.NumUplinks {
+		return
+	}
+	if down {
+		a.faults[uplink][dstLeaf] = true
+	} else {
+		delete(a.faults[uplink], dstLeaf)
+	}
+}
+
+// Faulted reports whether uplink i is dead toward dstLeaf per the fault
+// plane's link-state notifications.
+func (a *Agent) Faulted(uplink, dstLeaf int) bool {
+	m := a.faults[uplink]
+	if len(m) == 0 {
+		return false
+	}
+	return m[-1] || m[dstLeaf]
 }
 
 // OnControl is installed as the leaf switch's control hook: it absorbs CNMs
@@ -112,7 +145,12 @@ func (a *Agent) OnControl(sw *switchsim.Switch, pkt *fabric.Packet, inPort int) 
 
 // Warned reports whether uplink i currently has a live PFC warning for the
 // given destination leaf (warnings with DstLeaf -1 match every destination).
+// Link faults count as warnings: a dead path is the limit case of a paused
+// one.
 func (a *Agent) Warned(uplink, dstLeaf int, now sim.Time) bool {
+	if a.Faulted(uplink, dstLeaf) {
+		return true
+	}
 	m := a.warned[uplink]
 	if exp, ok := m[-1]; ok {
 		if now < exp {
@@ -165,6 +203,10 @@ func (a *Agent) Pick(v lb.View, pkt *fabric.Packet) lb.Decision {
 		case p != m.divertFrom:
 			m.divert = false
 			a.mem[pkt.FlowID] = m
+		case a.Faulted(m.divertTo, dstLeaf):
+			// The diverted-to path itself died; re-run Algorithm 1.
+			m.divert = false
+			a.mem[pkt.FlowID] = m
 		case !a.Warned(p, a.DstLeafOf(pkt.DstID), now) && now-m.at > v.PathDelay(m.divertTo, pkt):
 			m.divert = false
 			a.mem[pkt.FlowID] = m
@@ -182,7 +224,10 @@ func (a *Agent) Pick(v lb.View, pkt *fabric.Packet) lb.Decision {
 	a.Stats.PicksWarned++
 
 	// Order guard: predecessors committed to p and possibly still in flight.
+	// It does not apply to faulted paths: predecessors there are stalled or
+	// lost on the wire, and staying would only feed the blackhole.
 	if mem, ok := a.mem[pkt.FlowID]; ok && !a.Params.DisableOrderGuard &&
+		!a.Faulted(p, dstLeaf) &&
 		mem.path == p && now-mem.at <= v.PathDelay(p, pkt) {
 		a.Stats.OrderStays++
 		a.remember(pkt.FlowID, p, now)

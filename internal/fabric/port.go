@@ -21,6 +21,11 @@ type PortStats struct {
 	PauseTx      uint64 // PAUSE frames sent by the owning device via this port
 	PausedFor    sim.Time
 	lastPausedAt sim.Time
+	// WireLost counts frames that were on the wire (or serializing) when the
+	// link was cut and never arrived. Distinct from switch buffer drops: wire
+	// loss is a fault-plane event, not an MMU decision, and is therefore not
+	// a lossless-invariant violation.
+	WireLost uint64
 }
 
 // Port is one end of a full-duplex link. Egress queues and pause state belong
@@ -38,6 +43,7 @@ type Port struct {
 
 	queues [NumPrio]packetFIFO
 	busy   bool
+	down   bool
 
 	paused     [NumPrio]bool
 	pauseTimer [NumPrio]*sim.Timer
@@ -82,6 +88,43 @@ func (p *Port) TotalQueuedBytes() int {
 
 // Paused reports whether a priority class is currently paused by PFC.
 func (p *Port) Paused(prio uint8) bool { return p.paused[prio] }
+
+// Down reports whether this end of the link is failed.
+func (p *Port) Down() bool { return p.down }
+
+// SetDown fails or restores this transmit direction. While down the egress
+// queues stop draining (upstream PFC backpressure takes over); a frame
+// already serializing, or propagating on the wire, is lost and counted in
+// Stats.WireLost. Restoring the link resumes transmission immediately. Fail
+// both ends (see SetLinkDown) to cut a full-duplex link.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if !down {
+		p.trySend()
+	}
+}
+
+// SetLinkDown fails or restores both directions of the link this port
+// belongs to.
+func SetLinkDown(p *Port, down bool) {
+	p.SetDown(down)
+	if p.Peer != nil {
+		p.Peer.SetDown(down)
+	}
+}
+
+// SetLinkRate changes both directions of a link to a new rate (degradation or
+// repair). A frame mid-serialization finishes at the old rate; subsequent
+// frames serialize at the new one.
+func SetLinkRate(p *Port, rate units.Bandwidth) {
+	p.Rate = rate
+	if p.Peer != nil {
+		p.Peer.Rate = rate
+	}
+}
 
 // Busy reports whether the port is serializing a frame right now.
 func (p *Port) Busy() bool { return p.busy }
@@ -149,7 +192,7 @@ func (p *Port) nextFrame() *Packet {
 }
 
 func (p *Port) trySend() {
-	if p.busy || p.Peer == nil {
+	if p.busy || p.down || p.Peer == nil {
 		return
 	}
 	pkt := p.nextFrame()
@@ -168,6 +211,11 @@ func (p *Port) trySend() {
 		p.trySend()
 	})
 	p.Eng.After(tx+p.Delay, func() {
+		// A frame on the wire when the link went down is lost.
+		if p.down {
+			p.Stats.WireLost++
+			return
+		}
 		p.Peer.Owner.Receive(pkt, p.Peer)
 	})
 }

@@ -12,7 +12,10 @@ type AvgMetrics struct {
 	OODp99    float64 // 99th percentile out-of-order degree, packets
 	PauseRate float64 // PAUSE frames per simulated ms
 	Completed float64 // flows completed
-	Seeds     int
+	// Violations totals invariant-checker findings across all seeds (not
+	// averaged: any nonzero value is a bug).
+	Violations int
+	Seeds      int
 }
 
 // seedStride spaces seed offsets so derived streams stay independent.
@@ -50,6 +53,7 @@ func RunAveraged(cfgs []RunConfig, seeds int) []AvgMetrics {
 			m.OODp99 += rep.OOD.Percentile(99)
 			m.PauseRate += r.PauseRatePerMs()
 			m.Completed += float64(rep.Completed)
+			m.Violations += len(r.Violations)
 		}
 		n := float64(seeds)
 		m.AFCT /= n
@@ -76,6 +80,9 @@ type MotivAvg struct {
 	AFCT      float64
 	P99       float64
 	Completed float64
+	// Violations totals invariant-checker findings across seeds (see
+	// AvgMetrics.Violations).
+	Violations int
 }
 
 // RunMotivationsAveraged executes each spec with `seeds` seeds and averages.
@@ -103,6 +110,7 @@ func RunMotivationsAveraged(specs []MotivationSpec, seeds int) []MotivAvg {
 			m.AFCT += r.Background.AvgFCTms()
 			m.P99 += r.Background.TailFCTms()
 			m.Completed += float64(r.Background.Completed)
+			m.Violations += len(r.Violations)
 		}
 		n := float64(seeds)
 		m.PauseRate /= n

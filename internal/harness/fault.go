@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/topo"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+// KillUplinks builds the fault schedule for the canonical failure drill:
+// take down `count` of leaf `leaf`'s spine uplinks (spines 0..count-1) at
+// `at`, and — when `restore` is nonzero — bring them back at `restore`.
+// Assign the result to RunConfig.Faults, e.g. "kill 2 of 8 spine uplinks at
+// t=10ms":
+//
+//	cfg.Faults = harness.KillUplinks(0, 2, 10*sim.Millisecond, 0)
+func KillUplinks(leaf, count int, at, restore sim.Time) []topo.Fault {
+	var fs []topo.Fault
+	for s := 0; s < count; s++ {
+		fs = append(fs, topo.Fault{At: at, Kind: topo.LinkDown, Leaf: leaf, Spine: s})
+		if restore > 0 {
+			fs = append(fs, topo.Fault{At: restore, Kind: topo.LinkUp, Leaf: leaf, Spine: s})
+		}
+	}
+	return fs
+}
+
+// DegradeUplinks builds a schedule degrading `count` of leaf `leaf`'s spine
+// uplinks to `rate` at time `at` (the §4.2 asymmetry, but mid-run).
+func DegradeUplinks(leaf, count int, at sim.Time, rate units.Bandwidth) []topo.Fault {
+	var fs []topo.Fault
+	for s := 0; s < count; s++ {
+		fs = append(fs, topo.Fault{At: at, Kind: topo.LinkRate, Leaf: leaf, Spine: s, Rate: rate})
+	}
+	return fs
+}

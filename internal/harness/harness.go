@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/rlb-project/rlb/internal/core"
+	"github.com/rlb-project/rlb/internal/invariant"
 	"github.com/rlb-project/rlb/internal/metrics"
 	"github.com/rlb-project/rlb/internal/rng"
 	"github.com/rlb-project/rlb/internal/sim"
@@ -35,7 +36,19 @@ type RunConfig struct {
 	// Inject, when non-nil, adds custom traffic after the network is built
 	// (bursts, incast, the Fig. 2 scenario).
 	Inject func(n *topo.Network)
-	Seed   uint64
+	// Faults schedules fault-plane events (link down/up/degrade) on the
+	// simulation clock; see topo.Fault and KillUplinks for the common
+	// "kill N spine uplinks at t, restore at t2" scenario.
+	Faults []topo.Fault
+	// KeepNetwork retains the full built network in Result.Network for
+	// scenario-specific digging. Off by default: a sweep's worth of retained
+	// topologies pins gigabytes.
+	KeepNetwork bool
+	// StrictInvariants enables the invariant checker's expensive tier
+	// (per-mutation shared-pool conservation audits, per-flow PSN delivery
+	// tracking) on top of the always-on cheap assertions.
+	StrictInvariants bool
+	Seed             uint64
 }
 
 // Result captures one simulation's outcome.
@@ -49,7 +62,17 @@ type Result struct {
 	Agents  core.AgentStats
 	SimTime sim.Time
 	Wall    time.Duration
-	Network *topo.Network // retained for scenario-specific digging
+	// WireLost counts frames lost on cut links (fault plane), which are
+	// deliberately not part of Drops: wire loss is injected, buffer drops
+	// are a simulator bug under PFC.
+	WireLost uint64
+	// Violations holds every invariant the checker saw break during the run
+	// (empty on a healthy simulation; see internal/invariant).
+	Violations []invariant.Violation
+	// InvariantChecks counts executed assertions (sanity that checking ran).
+	InvariantChecks uint64
+	// Network is only retained when RunConfig.KeepNetwork is set.
+	Network *topo.Network
 }
 
 // PauseRatePerMs returns PAUSE frames per simulated millisecond.
@@ -61,7 +84,13 @@ func (r *Result) PauseRatePerMs() float64 {
 func Run(cfg RunConfig) *Result {
 	start := time.Now()
 	cfg.Topo.Seed = cfg.Seed + 1
+	checker := cfg.Topo.Checker
+	if checker == nil {
+		checker = invariant.New(cfg.StrictInvariants)
+		cfg.Topo.Checker = checker
+	}
 	n := topo.Build(cfg.Topo)
+	n.ScheduleFaults(cfg.Faults)
 
 	if cfg.Workload != nil && cfg.Load > 0 {
 		hosts := make([]int, len(n.Hosts))
@@ -88,15 +117,21 @@ func Run(cfg RunConfig) *Result {
 
 	n.Run(cfg.Duration + cfg.Drain)
 	n.StopRLB()
+	n.AuditInvariants()
 
 	res := &Result{
-		Report:  metrics.BuildFlowReport(n.Flows),
-		Pauses:  n.PauseFramesSent(),
-		Recircs: n.Recirculations(),
-		Drops:   n.Drops(),
-		SimTime: n.Eng.Now(),
-		Wall:    time.Since(start),
-		Network: n,
+		Report:          metrics.BuildFlowReport(n.Flows),
+		Pauses:          n.PauseFramesSent(),
+		Recircs:         n.Recirculations(),
+		Drops:           n.Drops(),
+		SimTime:         n.Eng.Now(),
+		Wall:            time.Since(start),
+		WireLost:        n.WireLost(),
+		Violations:      checker.Violations(),
+		InvariantChecks: checker.Checks(),
+	}
+	if cfg.KeepNetwork {
+		res.Network = n
 	}
 	for _, a := range n.Agents {
 		if a == nil {
@@ -123,10 +158,15 @@ func workers() int { return runtime.GOMAXPROCS(0) }
 // RunAll executes configs concurrently (one goroutine per simulation, capped
 // at GOMAXPROCS workers) and returns results in input order. Each simulation
 // is fully independent — separate engine, RNG streams, and network — so this
-// is embarrassingly parallel.
+// is embarrassingly parallel and results do not depend on the worker count
+// (runAllN with any n yields identical results; harness_test.go asserts it).
 func RunAll(cfgs []RunConfig) []*Result {
+	return runAllN(cfgs, runtime.GOMAXPROCS(0))
+}
+
+// runAllN is RunAll with an explicit worker count.
+func runAllN(cfgs []RunConfig, workers int) []*Result {
 	results := make([]*Result, len(cfgs))
-	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/workload"
+)
+
+func poissonCfg(scheme string, seed uint64) RunConfig {
+	p := testScale.TopoParams()
+	MustScheme(scheme, testScale.LinkDelay, nil).Apply(&p)
+	return RunConfig{
+		Topo: p, Workload: workload.WebServer(), Load: 0.4,
+		MaxFlowBytes: testScale.MaxFlowBytes,
+		Duration:     testScale.Duration, Drain: testScale.Drain, Seed: seed,
+	}
+}
+
+// fingerprint reduces a Result to a string that any nondeterminism would
+// perturb: aggregate counters, agent decisions, and every flow's finish time
+// (when the network was kept).
+func fingerprint(r *Result) string {
+	s := fmt.Sprintf("flows=%d done=%d sent=%d rcvd=%d ooo=%d pauses=%d recircs=%d drops=%d agents=%+v",
+		r.Report.Flows, r.Report.Completed, r.Report.TotalSent, r.Report.TotalRcvd,
+		r.Report.TotalOOO, r.Pauses, r.Recircs, r.Drops, r.Agents)
+	if r.Network != nil {
+		for _, f := range r.Network.Flows {
+			s += fmt.Sprintf("|%d@%d", f.ID, f.FinishAt)
+		}
+	}
+	return s
+}
+
+func TestNetworkNotRetainedByDefault(t *testing.T) {
+	res := Run(poissonCfg("ecmp", 1))
+	if res.Network != nil {
+		t.Fatal("Result.Network retained without KeepNetwork")
+	}
+	cfg := poissonCfg("ecmp", 1)
+	cfg.KeepNetwork = true
+	if kept := Run(cfg); kept.Network == nil {
+		t.Fatal("KeepNetwork did not retain the network")
+	}
+}
+
+func TestIdenticalSeedsIdenticalRuns(t *testing.T) {
+	// The determinism contract behind every figure: the same config and seed
+	// must replay bit-for-bit, for every scheme, with and without RLB.
+	schemes := append([]string{}, FourSchemes...)
+	schemes = append(schemes, "ecmp", "conga")
+	for _, base := range FourSchemes {
+		schemes = append(schemes, base+"+rlb")
+	}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			mk := func() string {
+				cfg := poissonCfg(scheme, 17)
+				cfg.KeepNetwork = true
+				return fingerprint(Run(cfg))
+			}
+			a, b := mk(), mk()
+			if a != b {
+				t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+func TestRunAllIndependentOfWorkerCount(t *testing.T) {
+	mkCfgs := func() []RunConfig {
+		var cfgs []RunConfig
+		for i, scheme := range []string{"ecmp", "drill", "drill+rlb", "presto"} {
+			cfgs = append(cfgs, poissonCfg(scheme, uint64(31+i)))
+		}
+		return cfgs
+	}
+	serial := runAllN(mkCfgs(), 1)
+	wide := runAllN(mkCfgs(), 8)
+	if len(serial) != len(wide) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		a, b := fingerprint(serial[i]), fingerprint(wide[i])
+		if a != b {
+			t.Fatalf("config %d differs across worker counts:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+func TestStrictInvariantsCleanAcrossSchemes(t *testing.T) {
+	// The strict tier (per-mutation pool audits, per-flow PSN tracking) must
+	// stay silent on healthy runs of every scheme. `make race` runs this under
+	// the race detector, which also exercises the harness's parallelism.
+	var cfgs []RunConfig
+	schemes := append([]string{"ecmp", "conga"}, FourSchemes...)
+	schemes = append(schemes, "drill+rlb", "presto+rlb")
+	for _, scheme := range schemes {
+		cfg := poissonCfg(scheme, 41)
+		cfg.StrictInvariants = true
+		cfgs = append(cfgs, cfg)
+	}
+	for i, res := range RunAll(cfgs) {
+		if res.InvariantChecks == 0 {
+			t.Errorf("%s: strict checker ran zero assertions", schemes[i])
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("%s: %d violations, e.g. %v", schemes[i], len(res.Violations), res.Violations[0])
+		}
+	}
+}
+
+func TestMotivationStrictAndUnretained(t *testing.T) {
+	// The motivation scenario (PFC storms, recirculation, spraying) is the
+	// hardest path for the checker; it must stay clean in strict mode, and
+	// RunMotivation must not leak its network.
+	res := RunMotivation(MotivationSpec{
+		Scale: testScale, Scheme: motivScheme("drill", testScale),
+		PFCEnabled: true, SprayPaths: 2, Bursts: 2, Seed: 3,
+		StrictInvariants: true,
+	})
+	if res.Network != nil {
+		t.Fatal("RunMotivation leaked Result.Network")
+	}
+	if res.InvariantChecks == 0 {
+		t.Fatal("checker not wired through the motivation path")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}

@@ -25,7 +25,10 @@ type MotivationSpec struct {
 	Bursts int
 	// BgLoad is the background senders' offered load fraction.
 	BgLoad float64
-	Seed   uint64
+	// StrictInvariants turns on the checker's expensive tier for this run
+	// (see RunConfig.StrictInvariants).
+	StrictInvariants bool
+	Seed             uint64
 }
 
 // MotivationResult separates the victim (background) flows' metrics from the
@@ -73,10 +76,14 @@ func RunMotivation(spec MotivationSpec) *MotivationResult {
 	}
 
 	cfg := RunConfig{
-		Topo:     p,
-		Duration: s.Duration,
-		Drain:    s.Drain,
-		Seed:     spec.Seed,
+		Topo: p,
+		// KeepNetwork so the victim flows can be separated below; released
+		// again before returning.
+		KeepNetwork:      true,
+		StrictInvariants: spec.StrictInvariants,
+		Duration:         s.Duration,
+		Drain:            s.Drain,
+		Seed:             spec.Seed,
 		Inject: func(n *topo.Network) {
 			// Congested flow fc over SprayPaths parallel paths.
 			fc := n.StartFlow(hc, rc, fcSize)
@@ -103,6 +110,7 @@ func RunMotivation(spec MotivationSpec) *MotivationResult {
 			bg = append(bg, f)
 		}
 	}
+	res.Network = nil
 	return &MotivationResult{Result: res, Background: metrics.BuildFlowReport(bg)}
 }
 

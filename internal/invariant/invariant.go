@@ -1,0 +1,220 @@
+// Package invariant is a runtime self-checker for the lossless-Ethernet
+// invariants the paper's evaluation rests on. Every simulation carries one
+// Checker; the data plane reports into it at the few points where the
+// invariants could break, and the harness surfaces recorded violations in the
+// run's Result instead of letting a buggy simulator silently produce figures.
+//
+// Two tiers keep the hot path fast:
+//
+//   - cheap (always on): integer-compare assertions — shared-pool occupancy
+//     bounds, zero data drops while PFC is enabled, monotone event time — plus
+//     one full conservation audit at the end of the run.
+//   - strict (opt-in): per-mutation shared-pool conservation audits
+//     (sum of per-ingress accounting == pool occupancy) and per-flow in-order
+//     PSN delivery tracking at receivers.
+//
+// All methods are nil-receiver safe so un-instrumented components (direct
+// switchsim/transport unit tests) pay nothing.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// Rule names identify which invariant a violation broke.
+const (
+	RulePoolBounds   = "pool-bounds"   // shared pool occupancy outside [0, BufferBytes]
+	RulePoolConserve = "pool-conserve" // sum(ingress accounting) != shared pool occupancy
+	RulePFCLossless  = "pfc-lossless"  // data frame dropped while PFC was enabled
+	RuleMonotoneTime = "monotone-time" // event observed before an earlier one
+	RulePSNOrder     = "psn-order"     // receiver delivered a non-contiguous PSN
+	RuleBlackhole    = "blackhole"     // bytes stranded on a failed link at end of run
+)
+
+// Violation is one recorded invariant break.
+type Violation struct {
+	At     sim.Time
+	Rule   string
+	Detail string
+}
+
+// String formats the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s: %s", v.At, v.Rule, v.Detail)
+}
+
+// maxRecorded caps stored violations; the total count keeps climbing so a
+// storm is still visible without unbounded memory.
+const maxRecorded = 64
+
+// Checker accumulates invariant violations for one simulation. It is not safe
+// for concurrent use: each simulation (engine) owns exactly one Checker, which
+// matches the harness's one-goroutine-per-simulation parallelism.
+type Checker struct {
+	// Strict enables the per-mutation conservation audits and PSN tracking.
+	Strict bool
+
+	violations []Violation
+	total      uint64
+	checks     uint64
+
+	lastEventAt sim.Time
+
+	// nextPSN tracks, per flow, the next sequence a receiver must deliver
+	// in order (strict mode only).
+	nextPSN map[uint32]uint32
+}
+
+// New returns a Checker; strict enables the expensive tier.
+func New(strict bool) *Checker {
+	c := &Checker{Strict: strict}
+	if strict {
+		c.nextPSN = make(map[uint32]uint32)
+	}
+	return c
+}
+
+// Violatef records one violation.
+func (c *Checker) Violatef(at sim.Time, rule, format string, args ...interface{}) {
+	if c == nil {
+		return
+	}
+	c.total++
+	if len(c.violations) < maxRecorded {
+		c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Violations returns the recorded violations (capped; see Total).
+func (c *Checker) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	return c.violations
+}
+
+// Total returns the number of violations detected, including ones beyond the
+// recording cap.
+func (c *Checker) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.total
+}
+
+// Checks returns how many assertions ran (a sanity signal that the checker
+// was actually wired in).
+func (c *Checker) Checks() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.checks
+}
+
+// Ok reports whether no invariant broke.
+func (c *Checker) Ok() bool { return c.Total() == 0 }
+
+// Summary formats the recorded violations, one per line ("ok" when clean).
+func (c *Checker) Summary() string {
+	if c.Ok() {
+		return "ok"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violation(s):\n", c.Total())
+	for _, v := range c.Violations() {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if int(c.Total()) > len(c.violations) {
+		fmt.Fprintf(&b, "  ... %d more not recorded\n", c.Total()-uint64(len(c.violations)))
+	}
+	return b.String()
+}
+
+// ObserveEvent asserts virtual time never runs backwards as seen by the data
+// plane (cheap tier).
+func (c *Checker) ObserveEvent(at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	if at < c.lastEventAt {
+		c.Violatef(at, RuleMonotoneTime, "event at %v after one at %v", at, c.lastEventAt)
+		return
+	}
+	c.lastEventAt = at
+}
+
+// PoolBounds asserts a switch's shared-pool occupancy stays within
+// [0, capacity] (cheap tier).
+func (c *Checker) PoolBounds(at sim.Time, swID, used, capacity int) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	if used < 0 || used > capacity {
+		c.Violatef(at, RulePoolBounds, "switch %d shared pool %d outside [0, %d]", swID, used, capacity)
+	}
+}
+
+// PFCDrop records a data-frame drop that happened while PFC was enabled —
+// the canary the whole lossless evaluation depends on (cheap tier). Wire loss
+// from injected link faults is accounted separately and is not a violation.
+func (c *Checker) PFCDrop(at sim.Time, swID, used int) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	c.Violatef(at, RulePFCLossless, "switch %d dropped a data frame under PFC (pool %d)", swID, used)
+}
+
+// AuditPool verifies per-ingress accounting sums to the shared-pool
+// occupancy. Called per mutation in strict mode and once at end of run by the
+// harness (final == true labels the latter).
+func (c *Checker) AuditPool(at sim.Time, swID, used int, ingress []int, final bool) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	sum := 0
+	for i, b := range ingress {
+		if b < 0 {
+			c.Violatef(at, RulePoolConserve, "switch %d ingress %d accounting negative (%d)", swID, i, b)
+		}
+		sum += b
+	}
+	if sum != used {
+		when := ""
+		if final {
+			when = " at end of run"
+		}
+		c.Violatef(at, RulePoolConserve, "switch %d ingress sum %d != shared pool %d%s", swID, sum, used, when)
+	}
+}
+
+// Delivered asserts a receiver consumed PSNs contiguously, per flow (strict
+// tier; a no-op otherwise).
+func (c *Checker) Delivered(at sim.Time, flow uint32, seq uint32) {
+	if c == nil || !c.Strict {
+		return
+	}
+	c.checks++
+	want := c.nextPSN[flow]
+	if seq != want {
+		c.Violatef(at, RulePSNOrder, "flow %d delivered PSN %d, want %d", flow, seq, want)
+	}
+	c.nextPSN[flow] = seq + 1
+}
+
+// Blackhole records bytes stranded on a failed link when the run ended — the
+// signature of a routing policy forwarding into a dead path (cheap tier,
+// asserted by the end-of-run audit).
+func (c *Checker) Blackhole(at sim.Time, swID, port, bytes int) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	c.Violatef(at, RuleBlackhole, "switch %d port %d holds %d bytes on a down link", swID, port, bytes)
+}

@@ -1,0 +1,144 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+func TestNilCheckerIsSafe(t *testing.T) {
+	var c *Checker
+	c.ObserveEvent(1)
+	c.PoolBounds(1, 0, 10, 100)
+	c.PFCDrop(1, 0, 10)
+	c.AuditPool(1, 0, 10, []int{10}, false)
+	c.Delivered(1, 1, 0)
+	c.Blackhole(1, 0, 0, 10)
+	c.Violatef(1, RulePoolBounds, "x")
+	if c.Total() != 0 || c.Checks() != 0 || c.Violations() != nil {
+		t.Fatal("nil checker accumulated state")
+	}
+	if !c.Ok() {
+		t.Fatal("nil checker not Ok")
+	}
+}
+
+func TestPoolBounds(t *testing.T) {
+	c := New(false)
+	c.PoolBounds(1, 7, 0, 100)
+	c.PoolBounds(2, 7, 100, 100)
+	if !c.Ok() {
+		t.Fatalf("in-bounds occupancy flagged: %s", c.Summary())
+	}
+	c.PoolBounds(3, 7, 101, 100)
+	c.PoolBounds(4, 7, -1, 100)
+	if c.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", c.Total())
+	}
+	if c.Violations()[0].Rule != RulePoolBounds {
+		t.Fatalf("rule = %s", c.Violations()[0].Rule)
+	}
+}
+
+func TestMonotoneTime(t *testing.T) {
+	c := New(false)
+	c.ObserveEvent(10)
+	c.ObserveEvent(10) // equal is fine: simultaneous events share a timestamp
+	c.ObserveEvent(20)
+	if !c.Ok() {
+		t.Fatalf("monotone sequence flagged: %s", c.Summary())
+	}
+	c.ObserveEvent(5)
+	if c.Total() != 1 || c.Violations()[0].Rule != RuleMonotoneTime {
+		t.Fatalf("backwards time not caught: %s", c.Summary())
+	}
+	// The clock must not be dragged backwards by the bad event.
+	c.ObserveEvent(15)
+	if c.Total() != 2 {
+		t.Fatal("high-water mark lost after violation")
+	}
+}
+
+func TestPFCDropAlwaysViolates(t *testing.T) {
+	c := New(false)
+	c.PFCDrop(9, 3, 5000)
+	if c.Ok() || c.Violations()[0].Rule != RulePFCLossless {
+		t.Fatalf("PFC drop not flagged: %s", c.Summary())
+	}
+}
+
+func TestAuditPool(t *testing.T) {
+	c := New(true)
+	c.AuditPool(1, 0, 30, []int{10, 20}, false)
+	if !c.Ok() {
+		t.Fatalf("balanced audit flagged: %s", c.Summary())
+	}
+	c.AuditPool(2, 0, 31, []int{10, 20}, true)
+	if c.Total() != 1 || c.Violations()[0].Rule != RulePoolConserve {
+		t.Fatalf("imbalance not caught: %s", c.Summary())
+	}
+	if !strings.Contains(c.Violations()[0].Detail, "end of run") {
+		t.Fatalf("final audit not labeled: %s", c.Violations()[0].Detail)
+	}
+	c.AuditPool(3, 0, 5, []int{-5, 11}, false)
+	// Negative ingress accounting is its own violation plus the sum mismatch.
+	if c.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", c.Total())
+	}
+}
+
+func TestDeliveredStrictOnly(t *testing.T) {
+	cheap := New(false)
+	cheap.Delivered(1, 1, 5) // out of order, but cheap tier ignores PSNs
+	if cheap.Total() != 0 || cheap.Checks() != 0 {
+		t.Fatal("cheap tier tracked PSNs")
+	}
+
+	c := New(true)
+	c.Delivered(1, 1, 0)
+	c.Delivered(2, 1, 1)
+	c.Delivered(3, 2, 0) // independent flow
+	if !c.Ok() {
+		t.Fatalf("contiguous delivery flagged: %s", c.Summary())
+	}
+	c.Delivered(4, 1, 3) // skipped PSN 2
+	if c.Total() != 1 || c.Violations()[0].Rule != RulePSNOrder {
+		t.Fatalf("PSN gap not caught: %s", c.Summary())
+	}
+	// Tracking resynchronizes after the violation.
+	c.Delivered(5, 1, 4)
+	if c.Total() != 1 {
+		t.Fatal("tracker did not resync to delivered PSN")
+	}
+}
+
+func TestBlackhole(t *testing.T) {
+	c := New(false)
+	c.Blackhole(99, 4, 2, 12000)
+	if c.Ok() || c.Violations()[0].Rule != RuleBlackhole {
+		t.Fatalf("blackhole not flagged: %s", c.Summary())
+	}
+}
+
+func TestRecordingCapKeepsCounting(t *testing.T) {
+	c := New(false)
+	for i := 0; i < maxRecorded+50; i++ {
+		c.Violatef(sim.Time(i), RulePoolBounds, "v%d", i)
+	}
+	if len(c.Violations()) != maxRecorded {
+		t.Fatalf("recorded %d, want cap %d", len(c.Violations()), maxRecorded)
+	}
+	if c.Total() != uint64(maxRecorded+50) {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if !strings.Contains(c.Summary(), "more not recorded") {
+		t.Fatalf("summary hides overflow:\n%s", c.Summary())
+	}
+}
+
+func TestSummaryOkWhenClean(t *testing.T) {
+	if got := New(false).Summary(); got != "ok" {
+		t.Fatalf("Summary = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package lb
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/rng"
+	"github.com/rlb-project/rlb/internal/sim"
+)
+
+// pickSequence drives a fresh chooser through a scripted, seeded workload and
+// returns every pick it makes. Two calls with the same seed must agree
+// exactly: the figures are replayed bit-for-bit by seed, so no scheme may
+// consult anything but its own state, the view, and the view's seeded RNG.
+func pickSequence(mk Factory, seed uint64, n int) []int {
+	c := mk()
+	v := newFakeView(6)
+	v.rng = rng.New(seed)
+	script := rng.New(seed + 1) // same stimulus for both replays
+	picks := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		flow := uint32(script.Intn(8))
+		seq := uint32(i)
+		for q := range v.queues {
+			v.queues[q] = script.Intn(100_000)
+			v.delays[q] = sim.Time(script.Intn(200)) * sim.Microsecond
+		}
+		v.now += sim.Time(script.Intn(120)) * sim.Microsecond
+		var ex PathSet
+		if script.Intn(4) == 0 {
+			ex = ex.With(script.Intn(6))
+		}
+		got := c.Choose(v, dataPkt(flow, seq), ex)
+		if cm, ok := c.(Committer); ok && script.Intn(8) == 0 {
+			cm.Commit(dataPkt(flow, seq), got)
+		}
+		picks = append(picks, got)
+	}
+	return picks
+}
+
+func TestPickSequencesDeterministic(t *testing.T) {
+	factories := map[string]Factory{
+		"ecmp":    NewECMP(),
+		"presto":  NewPresto(64*1000, 1000),
+		"letflow": NewLetFlow(100 * sim.Microsecond),
+		"drill":   NewDRILL(2, 1),
+		"hermes":  NewHermes(1000, 0),
+		"conga":   NewCONGA(50 * sim.Microsecond),
+	}
+	for name, mk := range factories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				a := pickSequence(mk, seed, 2000)
+				b := pickSequence(mk, seed, 2000)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("seed %d: pick %d diverged (%d vs %d)", seed, i, a[i], b[i])
+					}
+				}
+			}
+			// And different seeds should not replay the same sequence for the
+			// randomized schemes (a frozen RNG would silently void averaging).
+			if name == "ecmp" || name == "presto" {
+				return // hash/round-robin: legitimately seed-independent
+			}
+			a, b := pickSequence(mk, 1, 2000), pickSequence(mk, 2, 2000)
+			same := 0
+			for i := range a {
+				if a[i] == b[i] {
+					same++
+				}
+			}
+			if same == len(a) {
+				t.Fatalf("%s: seeds 1 and 2 produced identical sequences", name)
+			}
+		})
+	}
+}

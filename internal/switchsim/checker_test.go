@@ -1,0 +1,124 @@
+package switchsim
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/invariant"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+func TestCheckerCleanOnHealthyRun(t *testing.T) {
+	r := newRig(DefaultConfig(), 40*units.Gbps, sim.Microsecond)
+	chk := invariant.New(true)
+	r.sw.Checker = chk
+	r.send(50, 1000)
+	r.eng.Run()
+	r.sw.AuditInvariants()
+	if !chk.Ok() {
+		t.Fatalf("healthy run has violations:\n%s", chk.Summary())
+	}
+	if chk.Checks() == 0 {
+		t.Fatal("checker wired in but no assertions ran")
+	}
+}
+
+func TestCheckerCatchesDropUnderPFC(t *testing.T) {
+	// A buffer smaller than the PFC threshold: the pool overflows before PFC
+	// would engage, so the switch drops data while nominally lossless — the
+	// exact simulator bug the canary exists for.
+	cfg := DefaultConfig()
+	cfg.PFCThreshold = 100 * 1000
+	cfg.BufferBytes = 10 * 1000
+	r := newSlowRig(cfg, 40*units.Gbps, units.Gbps)
+	chk := invariant.New(false)
+	r.sw.Checker = chk
+	for i := 0; i < 100; i++ {
+		r.src[0].port.Enqueue(fabric.NewData(1, uint32(i), 1000, 0, 2))
+	}
+	r.eng.Run()
+	if r.sw.Stats.Dropped == 0 {
+		t.Fatal("scenario did not overflow the pool")
+	}
+	if chk.Ok() {
+		t.Fatal("drops under PFC not flagged")
+	}
+	if chk.Violations()[0].Rule != invariant.RulePFCLossless {
+		t.Fatalf("rule = %s", chk.Violations()[0].Rule)
+	}
+	if chk.Total() != r.sw.Stats.Dropped {
+		t.Fatalf("violations %d != drops %d", chk.Total(), r.sw.Stats.Dropped)
+	}
+}
+
+func TestStrictAuditCatchesBrokenMMU(t *testing.T) {
+	// Corrupt the shared-pool accounting mid-run the way an MMU bug would
+	// (bytes charged to the pool but not to any ingress) and verify the next
+	// strict audit catches it.
+	r := newRig(DefaultConfig(), 40*units.Gbps, sim.Microsecond)
+	chk := invariant.New(true)
+	r.sw.Checker = chk
+	r.send(1, 1000)
+	r.eng.Run()
+	if !chk.Ok() {
+		t.Fatalf("clean traffic flagged:\n%s", chk.Summary())
+	}
+	r.sw.sharedUsed += 777
+	r.send(1, 1000)
+	r.eng.Run()
+	if chk.Ok() {
+		t.Fatal("strict audit missed the corrupted pool accounting")
+	}
+	found := false
+	for _, v := range chk.Violations() {
+		if v.Rule == invariant.RulePoolConserve {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s violation:\n%s", invariant.RulePoolConserve, chk.Summary())
+	}
+}
+
+func TestEndOfRunAuditFlagsBlackhole(t *testing.T) {
+	r := newRig(DefaultConfig(), 40*units.Gbps, sim.Microsecond)
+	chk := invariant.New(false)
+	r.sw.Checker = chk
+	fabric.SetLinkDown(r.sw.Port(1), true) // cut the egress toward h1
+	r.send(5, 1000)
+	r.eng.Run()
+	if len(r.h[1].got) != 0 {
+		t.Fatal("frames crossed a down link")
+	}
+	r.sw.AuditInvariants()
+	found := false
+	for _, v := range chk.Violations() {
+		if v.Rule == invariant.RuleBlackhole {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stranded bytes on a down link not flagged:\n%s", chk.Summary())
+	}
+}
+
+func TestWireLossCountsOnDownLink(t *testing.T) {
+	// Cut the link while a frame is already on the wire: the frame is lost,
+	// counted as WireLost, and is not a buffer drop.
+	r := newRig(DefaultConfig(), 40*units.Gbps, sim.Microsecond)
+	r.send(1, 1000)
+	// The frame takes 200ns to serialize and 1us to propagate; cut mid-flight.
+	r.eng.RunUntil(600 * sim.Nanosecond)
+	fabric.SetLinkDown(r.h[0].port, true)
+	r.eng.Run()
+	if len(r.h[1].got) != 0 {
+		t.Fatal("in-flight frame survived the cut")
+	}
+	if r.h[0].port.Stats.WireLost != 1 {
+		t.Fatalf("WireLost = %d, want 1", r.h[0].port.Stats.WireLost)
+	}
+	if r.sw.Stats.Dropped != 0 {
+		t.Fatal("wire loss misaccounted as a buffer drop")
+	}
+}

@@ -1,0 +1,188 @@
+package topo
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/units"
+)
+
+// FaultKind discriminates fault-plane events on a leaf-spine link.
+type FaultKind uint8
+
+const (
+	// LinkDown cuts the link in both directions: egress queues on both ends
+	// stop draining (PFC backpressure takes over upstream) and frames on the
+	// wire are lost.
+	LinkDown FaultKind = iota
+	// LinkUp restores a failed link; stranded queues resume draining.
+	LinkUp
+	// LinkRate changes the link to Rate in both directions (degradation or
+	// repair), the dynamic version of Params.AsymFraction.
+	LinkRate
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case LinkRate:
+		return "link-rate"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// Fault is one scheduled fault-plane event on the leaf-spine link
+// (Leaf, Spine). The harness schedules RunConfig.Faults right after the
+// network is built, so scenarios like "kill 2 of 8 spine uplinks at t=10ms"
+// are data, not code.
+type Fault struct {
+	At   sim.Time
+	Kind FaultKind
+	// Leaf and Spine address the link.
+	Leaf  int
+	Spine int
+	// Rate is the new bandwidth for LinkRate faults.
+	Rate units.Bandwidth
+}
+
+// ScheduleFaults arms every fault on the simulation clock. Call once, before
+// running the engine.
+func (n *Network) ScheduleFaults(faults []Fault) {
+	for _, f := range faults {
+		f := f
+		n.checkLink(f.Leaf, f.Spine)
+		n.Eng.At(f.At, func() { n.ApplyFault(f) })
+	}
+}
+
+// ApplyFault executes one fault right now.
+func (n *Network) ApplyFault(f Fault) {
+	switch f.Kind {
+	case LinkDown:
+		n.FailLink(f.Leaf, f.Spine)
+	case LinkUp:
+		n.RestoreLink(f.Leaf, f.Spine)
+	case LinkRate:
+		n.SetLinkRate(f.Leaf, f.Spine, f.Rate)
+	default:
+		panic(fmt.Sprintf("topo: unknown fault kind %v", f.Kind))
+	}
+}
+
+func (n *Network) checkLink(l, s int) {
+	if l < 0 || l >= n.P.Leaves || s < 0 || s >= n.P.Spines {
+		panic(fmt.Sprintf("topo: fault addresses nonexistent link leaf %d / spine %d", l, s))
+	}
+}
+
+// LinkIsUp reports whether the leaf-spine link (l, s) is currently up.
+func (n *Network) LinkIsUp(l, s int) bool { return n.linkUp[l*n.P.Spines+s] }
+
+// uplinkPort returns the leaf-side port of link (l, s).
+func (n *Network) uplinkPort(l, s int) *fabric.Port {
+	return n.Leaves[l].Port(n.P.HostsPerLeaf + s)
+}
+
+// FailLink cuts the leaf-spine link (l, s) in both directions and tells the
+// RLB control plane: the local agent marks uplink s dead outright, and every
+// other leaf's agent marks spine s dead toward leaf l (the spine can no
+// longer deliver there). Link-state detection is local and fast on real
+// switches, so this models an idealized immediate notification; schemes
+// without RLB get no signal and must cope through their own telemetry (or
+// blackhole, which the invariant checker flags).
+func (n *Network) FailLink(l, s int) {
+	n.checkLink(l, s)
+	idx := l*n.P.Spines + s
+	if !n.linkUp[idx] {
+		return
+	}
+	n.linkUp[idx] = false
+	fabric.SetLinkDown(n.uplinkPort(l, s), true)
+	n.notifyAgents(l, s, true)
+}
+
+// RestoreLink brings the leaf-spine link (l, s) back up; stranded egress
+// queues resume draining immediately.
+func (n *Network) RestoreLink(l, s int) {
+	n.checkLink(l, s)
+	idx := l*n.P.Spines + s
+	if n.linkUp[idx] {
+		return
+	}
+	n.linkUp[idx] = true
+	fabric.SetLinkDown(n.uplinkPort(l, s), false)
+	n.notifyAgents(l, s, false)
+}
+
+// SetLinkRate changes the leaf-spine link (l, s) to rate in both directions.
+func (n *Network) SetLinkRate(l, s int, rate units.Bandwidth) {
+	n.checkLink(l, s)
+	if rate <= 0 {
+		panic("topo: non-positive link rate")
+	}
+	fabric.SetLinkRate(n.uplinkPort(l, s), rate)
+}
+
+func (n *Network) notifyAgents(l, s int, down bool) {
+	for l2, a := range n.Agents {
+		if a == nil {
+			continue
+		}
+		if l2 == l {
+			a.SetLinkFault(s, -1, down)
+		} else {
+			a.SetLinkFault(s, l, down)
+		}
+	}
+}
+
+// DownLinks returns the currently failed (leaf, spine) pairs in order.
+func (n *Network) DownLinks() [][2]int {
+	var out [][2]int
+	for l := 0; l < n.P.Leaves; l++ {
+		for s := 0; s < n.P.Spines; s++ {
+			if !n.LinkIsUp(l, s) {
+				out = append(out, [2]int{l, s})
+			}
+		}
+	}
+	return out
+}
+
+// WireLost totals frames lost on cut links across the fabric (switch ports
+// and host NICs).
+func (n *Network) WireLost() uint64 {
+	var total uint64
+	for _, sw := range n.Leaves {
+		for i := 0; i < sw.NumPorts(); i++ {
+			total += sw.Port(i).Stats.WireLost
+		}
+	}
+	for _, sw := range n.Spines {
+		for i := 0; i < sw.NumPorts(); i++ {
+			total += sw.Port(i).Stats.WireLost
+		}
+	}
+	for _, h := range n.Hosts {
+		total += h.NIC().Stats.WireLost
+	}
+	return total
+}
+
+// AuditInvariants runs the end-of-run checks on every switch: shared-pool
+// conservation and blackholed bytes stranded behind failed links. A no-op
+// when no checker is attached.
+func (n *Network) AuditInvariants() {
+	for _, sw := range n.Leaves {
+		sw.AuditInvariants()
+	}
+	for _, sw := range n.Spines {
+		sw.AuditInvariants()
+	}
+}

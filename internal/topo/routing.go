@@ -19,11 +19,29 @@ type leafView struct {
 
 func (v *leafView) NumPaths() int { return v.net.P.Spines }
 
+// Dead-path telemetry poisoning: a failed link reads as an effectively
+// infinite queue/delay, so queue- and delay-aware schemes (DRILL, Hermes,
+// CONGA) steer around failures on their own, while oblivious schemes (ECMP,
+// Presto, LetFlow) keep forwarding into the hole — the asymmetry the fault
+// plane exists to expose.
+const (
+	deadPathBytes = 1 << 40
+	deadPathDelay = sim.Time(1000 * sim.Second)
+)
+
 func (v *leafView) QueueBytes(i int) int {
+	if !v.net.LinkIsUp(v.leaf, i) {
+		return deadPathBytes
+	}
 	return v.net.Leaves[v.leaf].Port(v.net.P.HostsPerLeaf + i).QueuedBytes(fabric.PrioData)
 }
 
 func (v *leafView) PathDelay(i int, pkt *fabric.Packet) sim.Time {
+	dstLeaf := v.net.LeafOf(pkt.DstID)
+	if !v.net.LinkIsUp(v.leaf, i) ||
+		(dstLeaf >= 0 && dstLeaf < v.net.P.Leaves && dstLeaf != v.leaf && !v.net.LinkIsUp(dstLeaf, i)) {
+		return deadPathDelay
+	}
 	if v.net.probes != nil {
 		// Probe telemetry: an in-band, EWMA'd, slightly stale estimate of
 		// the uplink leg, plus the propagation floor of the spine leg.
@@ -31,7 +49,6 @@ func (v *leafView) PathDelay(i int, pkt *fabric.Packet) sim.Time {
 	}
 	up := v.net.Leaves[v.leaf].Port(v.net.P.HostsPerLeaf + i)
 	d := up.DrainTime() + 2*v.net.P.LinkDelay
-	dstLeaf := v.net.LeafOf(pkt.DstID)
 	if dstLeaf >= 0 && dstLeaf < v.net.P.Leaves && dstLeaf != v.leaf {
 		d += v.net.Spines[i].Port(dstLeaf).DrainTime()
 	}

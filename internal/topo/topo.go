@@ -11,6 +11,7 @@ import (
 
 	"github.com/rlb-project/rlb/internal/core"
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/invariant"
 	"github.com/rlb-project/rlb/internal/lb"
 	"github.com/rlb-project/rlb/internal/rng"
 	"github.com/rlb-project/rlb/internal/sim"
@@ -54,6 +55,11 @@ type Params struct {
 	// state (see internal/topo/probes.go and DESIGN.md substitution 2).
 	ProbeInterval sim.Time
 
+	// Checker, when non-nil, is threaded through every switch and host so
+	// the data plane self-checks the lossless invariants as it runs (see
+	// internal/invariant). The harness attaches one per simulation.
+	Checker *invariant.Checker
+
 	Seed uint64
 }
 
@@ -94,6 +100,10 @@ type Network struct {
 	probes   []*probeMonitor
 	nextFlow uint32
 	rng      *rng.Source
+
+	// linkUp[l*Spines+s] tracks the fault-plane state of leaf-spine link
+	// (l, s); see fault.go.
+	linkUp []bool
 }
 
 // HostsOfLeaf returns the host ids attached to leaf l.
@@ -118,6 +128,11 @@ func Build(p Params) *Network {
 	}
 	eng := sim.NewEngine()
 	n := &Network{Eng: eng, P: p, rng: rng.New(p.Seed ^ 0xA5A5)}
+	n.linkUp = make([]bool, p.Leaves*p.Spines)
+	for i := range n.linkUp {
+		n.linkUp[i] = true
+	}
+	p.Host.Checker = p.Checker
 
 	numHosts := p.Leaves * p.HostsPerLeaf
 	// Device id space: hosts [0, numHosts), leaves, then spines.
@@ -134,11 +149,13 @@ func Build(p Params) *Network {
 	for l := 0; l < p.Leaves; l++ {
 		sw := switchsim.New(eng, leafID(l), p.HostsPerLeaf+p.Spines, p.Switch, n.rng.Fork())
 		sw.Trace = p.Trace
+		sw.Checker = p.Checker
 		n.Leaves = append(n.Leaves, sw)
 	}
 	for s := 0; s < p.Spines; s++ {
 		sw := switchsim.New(eng, spineID(s), p.Leaves, p.Switch, n.rng.Fork())
 		sw.Trace = p.Trace
+		sw.Checker = p.Checker
 		n.Spines = append(n.Spines, sw)
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/rlb-project/rlb/internal/dcqcn"
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/invariant"
 	"github.com/rlb-project/rlb/internal/sim"
 	"github.com/rlb-project/rlb/internal/units"
 )
@@ -30,6 +31,10 @@ type HostConfig struct {
 	// that many packets (a Presto-style edge shim) instead of pure
 	// go-back-N. The paper's lossless setting uses 0.
 	ReseqBufPkts uint32
+	// Checker, when non-nil, receives receiver-side invariant assertions
+	// (in-order PSN delivery; strict tier only). The topology layer installs
+	// the simulation's checker here.
+	Checker *invariant.Checker
 	// SelectiveRepeat switches loss recovery to an IRN-style scheme
 	// (Mittal et al., SIGCOMM 2018, cited in the paper's related work):
 	// the receiver keeps out-of-order arrivals and NAKs only the missing

@@ -88,9 +88,11 @@ func (r *receiver) onData(pkt *fabric.Packet) {
 // coalesced ACKs and detecting completion.
 func (r *receiver) advance() {
 	f := r.f
+	r.h.Cfg.Checker.Delivered(r.h.Eng.Now(), f.ID, r.expected)
 	r.expected++
 	for r.reseq != nil && r.reseq[r.expected] {
 		delete(r.reseq, r.expected)
+		r.h.Cfg.Checker.Delivered(r.h.Eng.Now(), f.ID, r.expected)
 		r.expected++
 	}
 	if r.expected >= f.NumPkts {
