@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet golden bench clean
+.PHONY: all build test short race vet golden bench bench-smoke bench-json clean
 
 all: build vet test
 
@@ -8,9 +8,27 @@ build:
 	$(GO) build ./...
 
 # Tier-1 gate: the full suite, including the bench-scale golden-figure
-# regression (see TESTING.md).
-test:
+# regression (see TESTING.md) and the allocation-free hot-path smoke check.
+test: bench-smoke
 	$(GO) test ./...
+
+# Perf smoke: the engine-dispatch zero-alloc assertion plus one quick pass
+# over the engine and port micro-benchmarks. Fails the build if the hot path
+# starts allocating again.
+bench-smoke:
+	$(GO) test -run 'TestEngineDispatchZeroAlloc' -count=1 ./internal/sim/
+	$(GO) test -run '^$$' -bench 'EngineDispatchTyped|PortPingPong' -benchtime 100x -benchmem ./internal/sim/ ./internal/fabric/
+
+# Regenerate the committed perf trajectory: run the tracked benchmarks and
+# join them against the pre-refactor baseline (testdata/bench_baseline_pr2.json)
+# into BENCH_PR2.json. Figures run at 3 iterations to match how the baseline
+# was captured; see TESTING.md's Performance section.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineScheduleRun|BenchmarkEngineDispatchTyped' -benchmem ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree' -benchmem -benchtime 3x . ; } \
+	| $(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_pr2.json \
+		-note "after: typed pooled events + packet free list" -out BENCH_PR2.json
+	@cat BENCH_PR2.json
 
 # Quick iteration loop: skips the bench-scale golden run.
 short:

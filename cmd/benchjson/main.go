@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench -benchmem` output into a JSON
+// perf record, optionally joined against a committed baseline to show the
+// trajectory (before/after ns/op, B/op, allocs/op, events/sec and the
+// relative deltas). `make bench-json` pipes the figure benchmarks through it
+// to regenerate BENCH_PR2.json; see TESTING.md's Performance section.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson [-baseline old.json] [-out new.json]
+//
+// The baseline file may be a bare run (its "benchmarks" map) or a previous
+// joined record (its "after" map is then the new "before").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's measurements. EventsPerSec is only present on
+// harness figure benchmarks (they report the simulator's event throughput).
+type Bench struct {
+	NsOp         float64 `json:"ns_op"`
+	BOp          float64 `json:"b_op"`
+	AllocsOp     float64 `json:"allocs_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// Delta is the relative change from baseline to current, in percent
+// (negative = reduction), plus the wall-clock speedup factor.
+type Delta struct {
+	NsOpPct      float64 `json:"ns_op_pct"`
+	BOpPct       float64 `json:"b_op_pct"`
+	AllocsOpPct  float64 `json:"allocs_op_pct"`
+	Speedup      float64 `json:"speedup"`
+	EventsPerSec float64 `json:"events_per_sec_ratio,omitempty"`
+}
+
+// Record is the file format: a bare run carries only Benchmarks; a joined
+// record carries Before/After/Delta.
+type Record struct {
+	Go         string           `json:"go"`
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks,omitempty"`
+	Before     map[string]Bench `json:"before,omitempty"`
+	After      map[string]Bench `json:"after,omitempty"`
+	Delta      map[string]Delta `json:"delta,omitempty"`
+}
+
+// benchLine matches one result line, e.g.
+// "BenchmarkFig3MotivationPFC-8   1   130 ns/op   12 events/sec   42 B/op   7 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func parse(r *bufio.Scanner) (map[string]Bench, error) {
+	out := make(map[string]Bench)
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		// Strip the -GOMAXPROCS suffix so records from different machines join.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var b Bench
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsOp = v
+			case "B/op":
+				b.BOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			case "events/sec":
+				b.EventsPerSec = v
+			}
+		}
+		out[name] = b
+	}
+	return out, r.Err()
+}
+
+func pct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (after - before) / before
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to diff against (bare run or previous joined record)")
+	out := flag.String("out", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note embedded in the record")
+	flag.Parse()
+
+	cur, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	rec := Record{Go: runtime.Version(), Note: *note}
+	if *baseline == "" {
+		rec.Benchmarks = cur
+	} else {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Record
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		before := base.Benchmarks
+		if before == nil {
+			before = base.After
+		}
+		rec.Before = before
+		rec.After = cur
+		rec.Delta = make(map[string]Delta)
+		for name, a := range cur {
+			b, ok := before[name]
+			if !ok {
+				continue
+			}
+			d := Delta{
+				NsOpPct:     pct(b.NsOp, a.NsOp),
+				BOpPct:      pct(b.BOp, a.BOp),
+				AllocsOpPct: pct(b.AllocsOp, a.AllocsOp),
+			}
+			if a.NsOp > 0 {
+				d.Speedup = b.NsOp / a.NsOp
+			}
+			if b.EventsPerSec > 0 && a.EventsPerSec > 0 {
+				d.EventsPerSec = a.EventsPerSec / b.EventsPerSec
+			}
+			rec.Delta[name] = d
+		}
+	}
+
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

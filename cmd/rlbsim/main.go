@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/rlb-project/rlb/internal/core"
@@ -47,7 +49,37 @@ func main() {
 	killAt := flag.Duration("kill-at", time.Millisecond, "fault plane: when to kill the links")
 	restoreAt := flag.Duration("restore-at", 0, "fault plane: when to restore them (0 = never)")
 	strict := flag.Bool("strict", false, "enable the strict invariant-checker tier")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rlbsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			}
+		}()
+	}
 
 	dist, err := workload.ByName(*wl)
 	if err != nil {

@@ -39,10 +39,19 @@ type Predictor struct {
 	prev     []int
 	lastWarn []sim.Time
 
-	timer   *sim.Timer
+	timer   sim.Timer
 	stopped bool
 
 	Stats PredictorStats
+}
+
+// OnEvent implements sim.Handler: one Δt sampling tick.
+func (p *Predictor) OnEvent(sim.EventArg) {
+	if p.stopped {
+		return
+	}
+	p.sample()
+	p.arm()
 }
 
 // NewPredictor attaches a predictor to sw, watching the given ingress ports.
@@ -80,19 +89,11 @@ func (p *Predictor) QthBytes() int { return p.qth }
 // Stop halts sampling (call at end of simulation to drain the event queue).
 func (p *Predictor) Stop() {
 	p.stopped = true
-	if p.timer != nil {
-		p.timer.Stop()
-	}
+	p.timer.Stop()
 }
 
 func (p *Predictor) arm() {
-	p.timer = p.sw.Eng.After(p.params.DeltaT, func() {
-		if p.stopped {
-			return
-		}
-		p.sample()
-		p.arm()
-	})
+	p.timer = p.sw.Eng.ScheduleAfter(p.params.DeltaT, p, sim.EventArg{})
 }
 
 // sample is one Δt tick: differentiate each monitored ingress queue and warn
@@ -154,7 +155,7 @@ func (p *Predictor) sendCNM(port int) {
 		p.sw.Trace.Add(trace.Event{At: p.sw.Eng.Now(), Kind: trace.CNMSent,
 			Dev: p.sw.ID, Port: port, Aux: p.sw.IngressBytes(port)})
 	}
-	cnm := fabric.NewControl(fabric.CNM, p.sw.ID, -1)
+	cnm := p.sw.Pool.Control(fabric.CNM, p.sw.ID, -1)
 	cnm.CNMsg = fabric.CNMInfo{
 		SwitchID:    p.sw.ID,
 		IngressPort: port,

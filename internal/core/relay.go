@@ -46,7 +46,7 @@ func (r *Relay) OnControl(pkt *fabric.Packet, inPort int) bool {
 		if up == inPort {
 			continue
 		}
-		relayed := fabric.NewControl(fabric.CNM, r.sw.ID, -1)
+		relayed := r.sw.Pool.Control(fabric.CNM, r.sw.ID, -1)
 		relayed.CNMsg = pkt.CNMsg
 		relayed.CNMsg.Hops++
 		r.sw.SendControl(relayed, up)

@@ -65,11 +65,32 @@ type RP struct {
 	timerEvents     int // rate-timer expirations since last CNP
 	byteEvents      int // byte-counter expirations since last CNP
 
-	alphaTimer *sim.Timer
-	rateTimer  *sim.Timer
+	alphaTimer sim.Timer
+	rateTimer  sim.Timer
 
 	// CNPs counts congestion notifications received (stats).
 	CNPs uint64
+}
+
+// Event codes for the RP's typed timers (EventArg.U64).
+const (
+	rpEvAlpha uint64 = iota
+	rpEvRate
+)
+
+// OnEvent implements sim.Handler for the alpha-decay and rate-increase
+// timers.
+func (rp *RP) OnEvent(arg sim.EventArg) {
+	switch arg.U64 {
+	case rpEvAlpha:
+		// No CNP for a full period: decay the congestion estimate.
+		rp.alpha = (1 - rp.cfg.G) * rp.alpha
+		rp.armAlphaTimer()
+	case rpEvRate:
+		rp.timerEvents++
+		rp.increase()
+		rp.armRateTimer()
+	}
 }
 
 // NewRP returns a reaction point starting at line rate, with timers armed.
@@ -104,12 +125,8 @@ func (rp *RP) Alpha() float64 { return rp.alpha }
 
 // Close cancels the RP's timers.
 func (rp *RP) Close() {
-	if rp.alphaTimer != nil {
-		rp.alphaTimer.Stop()
-	}
-	if rp.rateTimer != nil {
-		rp.rateTimer.Stop()
-	}
+	rp.alphaTimer.Stop()
+	rp.rateTimer.Stop()
 }
 
 // OnCNP applies the DCQCN rate cut: remember the target, multiplicatively
@@ -140,25 +157,13 @@ func (rp *RP) NotifySent(n int) {
 }
 
 func (rp *RP) armAlphaTimer() {
-	if rp.alphaTimer != nil {
-		rp.alphaTimer.Stop()
-	}
-	rp.alphaTimer = rp.eng.After(rp.cfg.AlphaTimer, func() {
-		// No CNP for a full period: decay the congestion estimate.
-		rp.alpha = (1 - rp.cfg.G) * rp.alpha
-		rp.armAlphaTimer()
-	})
+	rp.alphaTimer.Stop()
+	rp.alphaTimer = rp.eng.ScheduleAfter(rp.cfg.AlphaTimer, rp, sim.EventArg{U64: rpEvAlpha})
 }
 
 func (rp *RP) armRateTimer() {
-	if rp.rateTimer != nil {
-		rp.rateTimer.Stop()
-	}
-	rp.rateTimer = rp.eng.After(rp.cfg.RateTimer, func() {
-		rp.timerEvents++
-		rp.increase()
-		rp.armRateTimer()
-	})
+	rp.rateTimer.Stop()
+	rp.rateTimer = rp.eng.ScheduleAfter(rp.cfg.RateTimer, rp, sim.EventArg{U64: rpEvRate})
 }
 
 // increase performs one rate-increase event: fast recovery toward the target

@@ -132,7 +132,16 @@ type Packet struct {
 
 	// Retransmitted marks frames sent again by go-back-N (for accounting).
 	Retransmitted bool
+
+	// pool, when non-nil, is the free list this frame came from and returns
+	// to on Release; inPool guards against double returns (see pool.go).
+	pool   *Pool
+	inPool bool
 }
+
+// Pooled reports whether the frame came from a packet pool (and therefore
+// participates in the pool-conservation audit).
+func (p *Packet) Pooled() bool { return p.pool != nil }
 
 // NewData returns a data frame of the given wire size.
 func NewData(flow uint32, seq uint32, size int, src, dst int) *Packet {

@@ -1,0 +1,93 @@
+package fabric
+
+// PoolStats counts pool traffic for the conservation invariant: every Get
+// must eventually be matched by exactly one Put (frame consumed) or remain
+// live in a queue, on the wire, or in a recirculation loop when the run ends.
+type PoolStats struct {
+	Gets uint64
+	Puts uint64
+	// DoublePuts counts frames returned twice. The pool refuses the second
+	// return (handing the same struct out to two owners would corrupt a later
+	// run), and the strict invariant tier turns a non-zero count into a test
+	// failure.
+	DoublePuts uint64
+}
+
+// Pool is a per-simulation free list of Packet structs. One simulation owns
+// one pool (single-threaded, like its engine); frames are taken at the
+// sending NIC or switch control plane and returned at every terminal point:
+// delivery, MMU drop, and wire loss. A nil *Pool is valid and degrades to
+// plain allocation, so unit tests that build packets directly pay nothing.
+type Pool struct {
+	free  []*Packet
+	stats PoolStats
+}
+
+// NewPool returns an empty packet pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Stats returns the pool counters.
+func (pl *Pool) Stats() PoolStats {
+	if pl == nil {
+		return PoolStats{}
+	}
+	return pl.stats
+}
+
+// get hands out a fully reset packet owned by this pool.
+func (pl *Pool) get() *Packet {
+	pl.stats.Gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{pool: pl}
+		return p
+	}
+	return &Packet{pool: pl}
+}
+
+// Data returns a data frame of the given wire size, pooled when pl is
+// non-nil.
+func (pl *Pool) Data(flow uint32, seq uint32, size int, src, dst int) *Packet {
+	if pl == nil {
+		return NewData(flow, seq, size, src, dst)
+	}
+	p := pl.get()
+	p.Type, p.Prio, p.Size = Data, PrioData, size
+	p.FlowID, p.Seq, p.SrcID, p.DstID = flow, seq, src, dst
+	return p
+}
+
+// Control returns a control frame of the given kind, pooled when pl is
+// non-nil.
+func (pl *Pool) Control(t PacketType, src, dst int) *Packet {
+	if pl == nil {
+		return NewControl(t, src, dst)
+	}
+	p := pl.get()
+	p.Type, p.Prio, p.Size = t, PrioControl, ControlFrameSize
+	p.SrcID, p.DstID = src, dst
+	return p
+}
+
+// put returns a frame to the free list, refusing double returns.
+func (pl *Pool) put(p *Packet) {
+	if p.inPool {
+		pl.stats.DoublePuts++
+		return
+	}
+	p.inPool = true
+	pl.stats.Puts++
+	pl.free = append(pl.free, p)
+}
+
+// Release returns pkt to its originating pool. Terminal consumers (host
+// delivery, switch drops, wire loss) call this instead of dropping the
+// reference. Safe on nil packets and on packets built outside any pool.
+func Release(pkt *Packet) {
+	if pkt == nil || pkt.pool == nil {
+		return
+	}
+	pkt.pool.put(pkt)
+}

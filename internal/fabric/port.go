@@ -45,8 +45,13 @@ type Port struct {
 	busy   bool
 	down   bool
 
+	// wirePooled counts pool-owned frames currently serializing or
+	// propagating out of this port (scheduled for delivery but not yet
+	// received), for the end-of-run pool-conservation audit.
+	wirePooled int
+
 	paused     [NumPrio]bool
-	pauseTimer [NumPrio]*sim.Timer
+	pauseTimer [NumPrio]sim.Timer
 
 	// OnTxDone, if set, fires when a frame finishes serialization out of
 	// this port (switches use it to release shared-buffer accounting).
@@ -145,10 +150,8 @@ func (p *Port) Enqueue(pkt *Packet) {
 // SetPaused pauses or resumes a priority class. A pause with dur > 0 arms an
 // auto-resume timer (the PFC pause quanta expiring); a RESUME cancels it.
 func (p *Port) SetPaused(prio uint8, paused bool, dur sim.Time) {
-	if t := p.pauseTimer[prio]; t != nil {
-		t.Stop()
-		p.pauseTimer[prio] = nil
-	}
+	p.pauseTimer[prio].Stop()
+	p.pauseTimer[prio] = sim.Timer{}
 	if paused == p.paused[prio] && !paused {
 		return
 	}
@@ -159,10 +162,7 @@ func (p *Port) SetPaused(prio uint8, paused bool, dur sim.Time) {
 		p.paused[prio] = true
 		p.Stats.PauseRx++
 		if dur > 0 {
-			p.pauseTimer[prio] = p.Eng.After(dur, func() {
-				p.pauseTimer[prio] = nil
-				p.resume(prio)
-			})
+			p.pauseTimer[prio] = p.Eng.ScheduleAfter(dur, p, sim.EventArg{U64: portEvPause + uint64(prio)})
 		}
 		return
 	}
@@ -191,6 +191,59 @@ func (p *Port) nextFrame() *Packet {
 	return nil
 }
 
+// Event codes for the port's typed events (EventArg.U64). Pause-expiry codes
+// occupy [portEvPause, portEvPause+NumPrio).
+const (
+	portEvTxDone uint64 = iota
+	portEvDeliver
+	portEvPause
+)
+
+// OnEvent implements sim.Handler: serialization-done and wire-delivery events
+// carry the frame as the pointer payload; pause expiries encode the priority
+// class in the scalar word. Using intern typed events instead of per-frame
+// closures keeps the per-hop cost allocation-free.
+func (p *Port) OnEvent(arg sim.EventArg) {
+	switch arg.U64 {
+	case portEvTxDone:
+		p.busy = false
+		if p.OnTxDone != nil {
+			p.OnTxDone(arg.Ptr.(*Packet))
+		}
+		p.trySend()
+	case portEvDeliver:
+		pkt := arg.Ptr.(*Packet)
+		if pkt.Pooled() {
+			p.wirePooled--
+		}
+		// A frame on the wire when the link went down is lost.
+		if p.down {
+			p.Stats.WireLost++
+			Release(pkt)
+			return
+		}
+		p.Peer.Owner.Receive(pkt, p.Peer)
+	default:
+		prio := uint8(arg.U64 - portEvPause)
+		p.pauseTimer[prio] = sim.Timer{}
+		p.resume(prio)
+	}
+}
+
+// WirePooled returns the number of pool-owned frames currently on the wire
+// out of this port (for the pool-conservation audit).
+func (p *Port) WirePooled() int { return p.wirePooled }
+
+// QueuedPooledFrames counts pool-owned frames across this port's egress
+// queues (for the pool-conservation audit).
+func (p *Port) QueuedPooledFrames() int {
+	total := 0
+	for i := 0; i < NumPrio; i++ {
+		total += p.queues[i].pooledFrames()
+	}
+	return total
+}
+
 func (p *Port) trySend() {
 	if p.busy || p.down || p.Peer == nil {
 		return
@@ -203,19 +256,9 @@ func (p *Port) trySend() {
 	tx := units.TxTime(pkt.Size, p.Rate)
 	p.Stats.TxFrames++
 	p.Stats.TxBytes += uint64(pkt.Size)
-	p.Eng.After(tx, func() {
-		p.busy = false
-		if p.OnTxDone != nil {
-			p.OnTxDone(pkt)
-		}
-		p.trySend()
-	})
-	p.Eng.After(tx+p.Delay, func() {
-		// A frame on the wire when the link went down is lost.
-		if p.down {
-			p.Stats.WireLost++
-			return
-		}
-		p.Peer.Owner.Receive(pkt, p.Peer)
-	})
+	if pkt.Pooled() {
+		p.wirePooled++
+	}
+	p.Eng.ScheduleAfter(tx, p, sim.EventArg{Ptr: pkt, U64: portEvTxDone})
+	p.Eng.ScheduleAfter(tx+p.Delay, p, sim.EventArg{Ptr: pkt, U64: portEvDeliver})
 }

@@ -42,6 +42,18 @@ func (q *packetFIFO) Pop() *Packet {
 	return p
 }
 
+// pooledFrames counts queued frames that came from a packet pool, for the
+// end-of-run conservation audit (see pool.go).
+func (q *packetFIFO) pooledFrames() int {
+	n := 0
+	for _, p := range q.buf[q.head:] {
+		if p.Pooled() {
+			n++
+		}
+	}
+	return n
+}
+
 // Peek returns the oldest packet without removing it, or nil if empty.
 func (q *packetFIFO) Peek() *Packet {
 	if q.head >= len(q.buf) {

@@ -7,6 +7,7 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/rlb-project/rlb/internal/core"
@@ -62,6 +63,9 @@ type Result struct {
 	Agents  core.AgentStats
 	SimTime sim.Time
 	Wall    time.Duration
+	// Events counts engine events dispatched during the run (throughput
+	// denominator for the perf harness's events/sec metric).
+	Events uint64
 	// WireLost counts frames lost on cut links (fault plane), which are
 	// deliberately not part of Drops: wire loss is injected, buffer drops
 	// are a simulator bug under PFC.
@@ -126,10 +130,12 @@ func Run(cfg RunConfig) *Result {
 		Drops:           n.Drops(),
 		SimTime:         n.Eng.Now(),
 		Wall:            time.Since(start),
+		Events:          n.Eng.Executed,
 		WireLost:        n.WireLost(),
 		Violations:      checker.Violations(),
 		InvariantChecks: checker.Checks(),
 	}
+	totalEvents.Add(res.Events)
 	if cfg.KeepNetwork {
 		res.Network = n
 	}
@@ -154,6 +160,15 @@ func Run(cfg RunConfig) *Result {
 
 // workers returns the simulation parallelism (one worker per CPU).
 func workers() int { return runtime.GOMAXPROCS(0) }
+
+// totalEvents accumulates engine events dispatched across every Run in the
+// process. Atomic because RunAll executes simulations on parallel goroutines.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the process-wide count of engine events dispatched by
+// completed runs; benchmarks difference it around the measured region to
+// report events/sec.
+func TotalEvents() uint64 { return totalEvents.Load() }
 
 // RunAll executes configs concurrently (one goroutine per simulation, capped
 // at GOMAXPROCS workers) and returns results in input order. Each simulation

@@ -32,6 +32,7 @@ const (
 	RuleMonotoneTime = "monotone-time" // event observed before an earlier one
 	RulePSNOrder     = "psn-order"     // receiver delivered a non-contiguous PSN
 	RuleBlackhole    = "blackhole"     // bytes stranded on a failed link at end of run
+	RulePacketPool   = "packet-pool"   // packet free list leaked or double-freed a frame
 )
 
 // Violation is one recorded invariant break.
@@ -206,6 +207,25 @@ func (c *Checker) Delivered(at sim.Time, flow uint32, seq uint32) {
 		c.Violatef(at, RulePSNOrder, "flow %d delivered PSN %d, want %d", flow, seq, want)
 	}
 	c.nextPSN[flow] = seq + 1
+}
+
+// PacketPool audits packet-pool conservation at end of run (strict tier):
+// every frame taken from the free list must either have been returned or
+// still be accounted for somewhere live in the fabric (queued, on the wire,
+// or in a recirculation loop), and no frame may have been returned twice.
+// gets == puts + live catches leaks (frames consumed without Release) and,
+// via the doublePuts counter, use-after-free of pooled frames.
+func (c *Checker) PacketPool(at sim.Time, gets, puts, doublePuts uint64, live int) {
+	if c == nil || !c.Strict {
+		return
+	}
+	c.checks++
+	if doublePuts != 0 {
+		c.Violatef(at, RulePacketPool, "%d double-free(s) of pooled frames", doublePuts)
+	}
+	if live < 0 || gets != puts+uint64(live) {
+		c.Violatef(at, RulePacketPool, "pool gets %d != puts %d + live %d at end of run", gets, puts, live)
+	}
 }
 
 // Blackhole records bytes stranded on a failed link when the run ended — the

@@ -142,3 +142,33 @@ func TestSummaryOkWhenClean(t *testing.T) {
 		t.Fatalf("Summary = %q", got)
 	}
 }
+
+func TestPacketPoolConservation(t *testing.T) {
+	c := New(true)
+	c.PacketPool(10, 100, 90, 0, 10) // gets == puts + live: clean
+	if !c.Ok() {
+		t.Fatalf("balanced pool flagged: %s", c.Summary())
+	}
+	c.PacketPool(20, 100, 90, 0, 5) // 5 frames leaked
+	if c.Total() != 1 || c.Violations()[0].Rule != RulePacketPool {
+		t.Fatalf("leak not caught: %s", c.Summary())
+	}
+}
+
+func TestPacketPoolDoubleFree(t *testing.T) {
+	c := New(true)
+	c.PacketPool(10, 100, 100, 2, 0)
+	if c.Total() != 1 || c.Violations()[0].Rule != RulePacketPool {
+		t.Fatalf("double free not caught: %s", c.Summary())
+	}
+}
+
+func TestPacketPoolStrictOnly(t *testing.T) {
+	c := New(false)
+	c.PacketPool(10, 100, 0, 7, 0) // grossly broken, but cheap tier skips it
+	if !c.Ok() {
+		t.Fatalf("cheap tier ran the pool audit: %s", c.Summary())
+	}
+	var nilc *Checker
+	nilc.PacketPool(10, 1, 0, 0, 0) // nil-receiver safe
+}

@@ -1,37 +1,80 @@
 package sim
 
-// Event is a scheduled callback. Events are ordered by (At, seq) where seq is
+// Handler is a typed event callback: the scheduled component itself (or a
+// small adapter owned by it) implements OnEvent and receives the payload it
+// packed at schedule time. Scheduling a Handler allocates nothing on the
+// steady-state hot path: the interface value is two words copied into a
+// pooled event struct, unlike a closure, which heap-allocates its capture.
+type Handler interface {
+	OnEvent(arg EventArg)
+}
+
+// EventArg is the payload carried by a typed event: one pointer word (e.g.
+// the *fabric.Packet in flight) and one scalar word (an event code, port
+// index, priority class — whatever the handler packed). Both are optional.
+type EventArg struct {
+	Ptr any
+	U64 uint64
+}
+
+// event is a scheduled callback. Events are ordered by (at, seq) where seq is
 // the scheduling order, guaranteeing FIFO execution among same-time events.
+// Event structs are pooled on the engine's free list; gen increments on every
+// release so stale Timer handles can never cancel or inspect a reused slot.
 type event struct {
 	at  Time
 	seq uint64
+	gen uint64
+
+	// h/arg is the typed fast path; fn is the closure fallback used by the
+	// cold-path At/After API. Exactly one of h and fn is set.
+	h   Handler
+	arg EventArg
 	fn  func()
+
 	// heap index, -1 when not queued; used for O(log n) cancellation.
 	index int
 }
 
-// Timer is a handle to a scheduled event that can be cancelled or inspected.
+// Timer is a value handle to a scheduled event. The zero Timer is valid and
+// behaves like an already-stopped one: Stop and Pending report false, When
+// returns 0. Handles stay safe after the event fires and its struct is
+// reused — the generation check makes a stale Stop a no-op instead of
+// cancelling whatever event now occupies the slot.
 type Timer struct {
 	ev  *event
 	eng *Engine
+	gen uint64
+}
+
+// live reports whether the handle still refers to the queued event it was
+// created for.
+func (t Timer) live() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending.
-// Stopping an already-fired or already-stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.index < 0 {
+// Stopping a zero, already-fired, or already-stopped timer is a no-op.
+func (t Timer) Stop() bool {
+	if !t.live() {
 		return false
 	}
 	t.eng.q.remove(t.ev)
-	t.ev.fn = nil
+	t.eng.release(t.ev)
 	return true
 }
 
 // Pending reports whether the timer has not yet fired or been stopped.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.index >= 0 }
+func (t Timer) Pending() bool { return t.live() }
 
-// When returns the virtual time at which the timer fires.
-func (t *Timer) When() Time { return t.ev.at }
+// When returns the virtual time at which the timer fires, or 0 for a zero,
+// fired, or stopped handle.
+func (t Timer) When() Time {
+	if !t.live() {
+		return 0
+	}
+	return t.ev.at
+}
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is not
 // usable; create engines with NewEngine.
@@ -40,6 +83,11 @@ type Engine struct {
 	q       eventHeap
 	seq     uint64
 	stopped bool
+
+	// free is the event free list: fired and cancelled events return here and
+	// are reused by the next schedule, so the steady-state hot path performs
+	// zero heap allocations.
+	free []*event
 
 	// Executed counts events dispatched so far (for stats and runaway guards).
 	Executed uint64
@@ -53,20 +101,69 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// alloc takes an event from the free list, or grows the pool by one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a dequeued event to the free list, bumping its generation
+// so outstanding Timer handles go stale.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.h = nil
+	ev.arg = EventArg{}
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule inserts an event at absolute time t. Scheduling in the past
 // panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) schedule(t Time) *event {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
 	e.seq++
 	e.q.push(ev)
-	return &Timer{ev: ev, eng: e}
+	return ev
+}
+
+// Schedule runs h.OnEvent(arg) at absolute virtual time t. This is the
+// allocation-free path: handler and payload are stored in a pooled event.
+func (e *Engine) Schedule(t Time, h Handler, arg EventArg) Timer {
+	ev := e.schedule(t)
+	ev.h = h
+	ev.arg = arg
+	return Timer{ev: ev, eng: e, gen: ev.gen}
+}
+
+// ScheduleAfter runs h.OnEvent(arg) d after the current time.
+func (e *Engine) ScheduleAfter(d Time, h Handler, arg EventArg) Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Schedule(e.now+d, h, arg)
+}
+
+// At schedules fn to run at absolute virtual time t. The closure API is for
+// cold paths (workload generation, fault injection, tests); hot paths use
+// Schedule, which avoids the closure capture allocation.
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.schedule(t)
+	ev.fn = fn
+	return Timer{ev: ev, eng: e, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
@@ -99,9 +196,16 @@ func (e *Engine) RunUntil(limit Time) Time {
 		}
 		e.q.pop()
 		e.now = ev.at
-		if ev.fn != nil {
-			fn := ev.fn
-			ev.fn = nil
+		// Free the slot before dispatching: the handler may immediately
+		// schedule again and reuse it, and its own Timer handle (now stale by
+		// generation) can no longer cancel the reused slot.
+		h, arg, fn := ev.h, ev.arg, ev.fn
+		e.release(ev)
+		switch {
+		case h != nil:
+			e.Executed++
+			h.OnEvent(arg)
+		case fn != nil:
 			e.Executed++
 			fn()
 		}

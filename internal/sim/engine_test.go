@@ -213,7 +213,7 @@ func TestHeapRandomizedCancellation(t *testing.T) {
 		e := NewEngine()
 		n := 200
 		fired := make(map[int]bool)
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		for i := 0; i < n; i++ {
 			i := i
 			timers[i] = e.At(Time(r.Intn(1000)), func() { fired[i] = true })

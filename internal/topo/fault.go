@@ -176,7 +176,8 @@ func (n *Network) WireLost() uint64 {
 }
 
 // AuditInvariants runs the end-of-run checks on every switch: shared-pool
-// conservation and blackholed bytes stranded behind failed links. A no-op
+// conservation and blackholed bytes stranded behind failed links, plus (in
+// strict mode) packet-pool conservation across the whole fabric. A no-op
 // when no checker is attached.
 func (n *Network) AuditInvariants() {
 	for _, sw := range n.Leaves {
@@ -185,4 +186,34 @@ func (n *Network) AuditInvariants() {
 	for _, sw := range n.Spines {
 		sw.AuditInvariants()
 	}
+	n.auditPacketPool()
+}
+
+// auditPacketPool verifies packet free-list conservation: every frame taken
+// from the pool is either back in it or still live — queued at a port, in
+// flight on a wire, or held by a recirculation loop. Frames lost to cut links
+// and drops are returned at the loss point, so they need no term here.
+func (n *Network) auditPacketPool() {
+	if n.P.Checker == nil || !n.P.Checker.Strict {
+		return
+	}
+	live := 0
+	portLive := func(p *fabric.Port) int { return p.QueuedPooledFrames() + p.WirePooled() }
+	for _, sw := range n.Leaves {
+		for i := 0; i < sw.NumPorts(); i++ {
+			live += portLive(sw.Port(i))
+		}
+		live += sw.RecircPooled()
+	}
+	for _, sw := range n.Spines {
+		for i := 0; i < sw.NumPorts(); i++ {
+			live += portLive(sw.Port(i))
+		}
+		live += sw.RecircPooled()
+	}
+	for _, h := range n.Hosts {
+		live += portLive(h.NIC())
+	}
+	st := n.pool.Stats()
+	n.P.Checker.PacketPool(n.Eng.Now(), st.Gets, st.Puts, st.DoublePuts, live)
 }

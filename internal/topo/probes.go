@@ -26,7 +26,7 @@ type probeMonitor struct {
 	seq     uint32
 
 	stopped bool
-	timer   *sim.Timer
+	timer   sim.Timer
 
 	// ProbesSent / ProbesRcvd count monitor activity.
 	ProbesSent uint64
@@ -53,14 +53,17 @@ func newProbeMonitor(n *Network, leaf int, interval sim.Time) *probeMonitor {
 	return m
 }
 
+// OnEvent implements sim.Handler: one probe-emission tick.
+func (m *probeMonitor) OnEvent(sim.EventArg) {
+	if m.stopped {
+		return
+	}
+	m.emit()
+	m.arm()
+}
+
 func (m *probeMonitor) arm() {
-	m.timer = m.net.Eng.After(m.interval, func() {
-		if m.stopped {
-			return
-		}
-		m.emit()
-		m.arm()
-	})
+	m.timer = m.net.Eng.ScheduleAfter(m.interval, m, sim.EventArg{})
 }
 
 // emit sends one probe out of every uplink. Probes ride the control class:
@@ -71,7 +74,7 @@ func (m *probeMonitor) emit() {
 	sw := m.net.Leaves[m.leaf]
 	for i := 0; i < m.net.P.Spines; i++ {
 		m.seq++
-		p := fabric.NewControl(fabric.Probe, sw.ID, -1)
+		p := sw.Pool.Control(fabric.Probe, sw.ID, -1)
 		p.Prio = fabric.PrioData // measure the data class, pause and all
 		p.FlowID = uint32(m.leaf)
 		p.Seq = m.seq
@@ -103,7 +106,5 @@ func (m *probeMonitor) delay(i int) sim.Time { return m.est[i] }
 
 func (m *probeMonitor) stop() {
 	m.stopped = true
-	if m.timer != nil {
-		m.timer.Stop()
-	}
+	m.timer.Stop()
 }

@@ -100,6 +100,7 @@ type Network struct {
 	probes   []*probeMonitor
 	nextFlow uint32
 	rng      *rng.Source
+	pool     *fabric.Pool
 
 	// linkUp[l*Spines+s] tracks the fault-plane state of leaf-spine link
 	// (l, s); see fault.go.
@@ -127,12 +128,15 @@ func Build(p Params) *Network {
 		p.LB = lb.NewECMP()
 	}
 	eng := sim.NewEngine()
-	n := &Network{Eng: eng, P: p, rng: rng.New(p.Seed ^ 0xA5A5)}
+	n := &Network{Eng: eng, P: p, rng: rng.New(p.Seed ^ 0xA5A5), pool: fabric.NewPool()}
 	n.linkUp = make([]bool, p.Leaves*p.Spines)
 	for i := range n.linkUp {
 		n.linkUp[i] = true
 	}
 	p.Host.Checker = p.Checker
+	// One packet free list per simulation: the engine is single-threaded, so
+	// every device shares it without synchronization.
+	p.Host.Pool = n.pool
 
 	numHosts := p.Leaves * p.HostsPerLeaf
 	// Device id space: hosts [0, numHosts), leaves, then spines.
@@ -150,12 +154,14 @@ func Build(p Params) *Network {
 		sw := switchsim.New(eng, leafID(l), p.HostsPerLeaf+p.Spines, p.Switch, n.rng.Fork())
 		sw.Trace = p.Trace
 		sw.Checker = p.Checker
+		sw.Pool = n.pool
 		n.Leaves = append(n.Leaves, sw)
 	}
 	for s := 0; s < p.Spines; s++ {
 		sw := switchsim.New(eng, spineID(s), p.Leaves, p.Switch, n.rng.Fork())
 		sw.Trace = p.Trace
 		sw.Checker = p.Checker
+		sw.Pool = n.pool
 		n.Spines = append(n.Spines, sw)
 	}
 

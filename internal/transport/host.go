@@ -35,6 +35,10 @@ type HostConfig struct {
 	// (in-order PSN delivery; strict tier only). The topology layer installs
 	// the simulation's checker here.
 	Checker *invariant.Checker
+	// Pool, when non-nil, supplies this host's data and control frames from
+	// the simulation's packet free list; delivered frames return to it. Nil
+	// degrades to plain allocation.
+	Pool *fabric.Pool
 	// SelectiveRepeat switches loss recovery to an IRN-style scheme
 	// (Mittal et al., SIGCOMM 2018, cited in the paper's related work):
 	// the receiver keeps out-of-order arrivals and NAKs only the missing
@@ -123,7 +127,8 @@ func (h *Host) StartFlow(id uint32, dst *Host, size int) *Flow {
 	return f
 }
 
-// Receive implements fabric.Device: NIC-level dispatch.
+// Receive implements fabric.Device: NIC-level dispatch. Every frame reaching
+// a host is terminally consumed here and returns to the packet pool.
 func (h *Host) Receive(pkt *fabric.Packet, in *fabric.Port) {
 	switch pkt.Type {
 	case fabric.Pause:
@@ -143,11 +148,12 @@ func (h *Host) Receive(pkt *fabric.Packet, in *fabric.Port) {
 			s.onCNP()
 		}
 	}
+	fabric.Release(pkt)
 }
 
 // sendControl emits a control frame from this host.
 func (h *Host) sendControl(t fabric.PacketType, flow uint32, dst int, seq uint32) {
-	pkt := fabric.NewControl(t, h.ID, dst)
+	pkt := h.Cfg.Pool.Control(t, h.ID, dst)
 	pkt.FlowID = flow
 	pkt.AckNk.Seq = seq
 	h.nic.Enqueue(pkt)

@@ -25,8 +25,33 @@ type sender struct {
 	rtx     []uint32
 	rtxMark map[uint32]bool
 
-	pacer *sim.Timer
-	rto   *sim.Timer
+	pacer sim.Timer
+	rto   sim.Timer
+}
+
+// Event codes for the sender's typed timers (EventArg.U64).
+const (
+	sndEvPump uint64 = iota
+	sndEvRTO
+)
+
+// OnEvent implements sim.Handler for the pacing and retransmission timers.
+func (s *sender) OnEvent(arg sim.EventArg) {
+	switch arg.U64 {
+	case sndEvPump:
+		s.pump()
+	case sndEvRTO:
+		if s.done {
+			return
+		}
+		s.f.RTOs++
+		if s.h.Cfg.SelectiveRepeat {
+			s.queueRtx(s.una)
+		} else {
+			s.next = s.una
+		}
+		s.pump()
+	}
 }
 
 func newSender(h *Host, f *Flow) *sender {
@@ -51,10 +76,8 @@ func (s *sender) pump() {
 	if s.done {
 		return
 	}
-	if s.pacer != nil {
-		s.pacer.Stop()
-		s.pacer = nil
-	}
+	s.pacer.Stop()
+	s.pacer = sim.Timer{}
 	if len(s.rtx) == 0 && s.next >= s.f.NumPkts {
 		// Everything sent once; wait for ACK/NAK, with a timeout as the
 		// last-resort recovery for tail loss.
@@ -64,7 +87,7 @@ func (s *sender) pump() {
 	// NIC backpressure: when PFC has paused the NIC (or the queue is simply
 	// deep), hold off instead of growing the egress queue without bound.
 	if s.h.nic.QueuedBytes(fabric.PrioData) >= s.h.Cfg.NICQueueCap {
-		s.pacer = s.h.Eng.After(units.TxTime(s.h.Cfg.MTU, s.h.LineRate()), func() { s.pump() })
+		s.pacer = s.h.Eng.ScheduleAfter(units.TxTime(s.h.Cfg.MTU, s.h.LineRate()), s, sim.EventArg{U64: sndEvPump})
 		return
 	}
 	var seq uint32
@@ -77,7 +100,7 @@ func (s *sender) pump() {
 		seq = s.next
 		s.next++
 	}
-	pkt := fabric.NewData(s.f.ID, seq, s.h.Cfg.MTU, s.f.Src, s.f.Dst)
+	pkt := s.h.Cfg.Pool.Data(s.f.ID, seq, s.h.Cfg.MTU, s.f.Src, s.f.Dst)
 	pkt.SentAt = s.h.Eng.Now()
 	if seq < s.maxSent {
 		pkt.Retransmitted = true
@@ -90,7 +113,7 @@ func (s *sender) pump() {
 	if s.rp != nil {
 		s.rp.NotifySent(pkt.Size)
 	}
-	s.pacer = s.h.Eng.After(units.TxTime(pkt.Size, s.rate()), func() { s.pump() })
+	s.pacer = s.h.Eng.ScheduleAfter(units.TxTime(pkt.Size, s.rate()), s, sim.EventArg{U64: sndEvPump})
 }
 
 func (s *sender) onAckNak(pkt *fabric.Packet) {
@@ -135,21 +158,10 @@ func (s *sender) onCNP() {
 }
 
 func (s *sender) armRTO() {
-	if s.rto != nil && s.rto.Pending() {
+	if s.rto.Pending() {
 		return
 	}
-	s.rto = s.h.Eng.After(s.h.Cfg.RTO, func() {
-		if s.done {
-			return
-		}
-		s.f.RTOs++
-		if s.h.Cfg.SelectiveRepeat {
-			s.queueRtx(s.una)
-		} else {
-			s.next = s.una
-		}
-		s.pump()
-	})
+	s.rto = s.h.Eng.ScheduleAfter(s.h.Cfg.RTO, s, sim.EventArg{U64: sndEvRTO})
 }
 
 // queueRtx schedules one sequence for selective retransmission (idempotent).
@@ -168,19 +180,15 @@ func (s *sender) queueRtx(seq uint32) {
 }
 
 func (s *sender) disarmRTO() {
-	if s.rto != nil {
-		s.rto.Stop()
-		s.rto = nil
-	}
+	s.rto.Stop()
+	s.rto = sim.Timer{}
 }
 
 func (s *sender) finish() {
 	s.done = true
 	s.disarmRTO()
-	if s.pacer != nil {
-		s.pacer.Stop()
-		s.pacer = nil
-	}
+	s.pacer.Stop()
+	s.pacer = sim.Timer{}
 	if s.rp != nil {
 		s.rp.Close()
 	}
