@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: all build test short race vet golden bench bench-smoke bench-json clean
+.PHONY: all build test short race race-short vet lint simlint golden bench bench-smoke bench-json clean ci
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
-# Tier-1 gate: the full suite, including the bench-scale golden-figure
-# regression (see TESTING.md) and the allocation-free hot-path smoke check.
-test: bench-smoke
+# Tier-1 gate: static analysis, the race-detector smoke pass, the
+# allocation-free hot-path smoke check, and the full suite including the
+# bench-scale golden-figure regression (see TESTING.md).
+test: lint race-short bench-smoke
 	$(GO) test ./...
 
 # Perf smoke: the engine-dispatch zero-alloc assertion plus one quick pass
@@ -40,8 +41,24 @@ short:
 race:
 	$(GO) test -race ./internal/...
 
+# Race-detector smoke: same packages as `race` but with -short, skipping the
+# bench-scale golden runs. Fast enough to sit inside `make test`.
+race-short:
+	$(GO) test -race -short ./internal/...
+
 vet:
 	$(GO) vet ./...
+
+# Static-analysis tier: go vet plus the project-specific simlint suite
+# (determinism, poolcheck, timercheck, unitsafe — see TESTING.md).
+lint: vet simlint
+
+simlint:
+	$(GO) run ./cmd/simlint ./...
+
+# Full CI sequence: build → lint → race smoke → full suite with goldens.
+ci:
+	./scripts/ci.sh
 
 # Refresh the committed golden figures after an intentional behavior change,
 # then review the diff (TESTING.md explains what "intentional" means here).

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches "//simlint:allow(<analyzer>)" with an optional trailing
+// reason. The reason is mandatory for the annotation to be valid; matching it
+// separately lets us report its absence precisely.
+var allowRe = regexp.MustCompile(`^//\s*simlint:allow\(([^)\s]*)\)\s*(.*)$`)
+
+// allow is one parsed //simlint:allow annotation.
+type allow struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// applyAllows filters raw findings through the //simlint:allow annotations in
+// pkg. A valid annotation (known analyzer, non-empty reason) suppresses every
+// finding of that analyzer on its own line and on the line directly below it,
+// so both trailing and preceding-line comments work:
+//
+//	start := time.Now() //simlint:allow(determinism) wall-clock perf counter
+//
+//	//simlint:allow(determinism) wall-clock perf counter
+//	start := time.Now()
+//
+// Malformed annotations become findings themselves: a missing reason or an
+// unknown analyzer name must be fixed, never silently ignored.
+func applyAllows(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
+	// An annotation may name any suite analyzer, not just the ones in this
+	// run: fixture tests run analyzers one at a time, and an annotation for a
+	// sibling analyzer must not read as unknown there.
+	known := map[string]bool{}
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var allows []allow
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, reason := m[1], strings.TrimSpace(m[2])
+				// Cut an analysistest expectation off the reason, so
+				// fixtures can assert findings on annotation lines.
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				switch {
+				case !known[name]:
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "simlint",
+						Message:  "simlint:allow names unknown analyzer " + quoteName(name),
+					})
+				case reason == "":
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "simlint",
+						Message:  "simlint:allow(" + name + ") needs a reason after the closing parenthesis",
+					})
+				default:
+					allows = append(allows, allow{pos: pos, analyzer: name, reason: reason})
+				}
+			}
+		}
+	}
+
+	suppressed := func(d Diagnostic) bool {
+		for _, a := range allows {
+			if a.analyzer == d.Analyzer && a.pos.Filename == d.Pos.Filename &&
+				(a.pos.Line == d.Pos.Line || a.pos.Line+1 == d.Pos.Line) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range raw {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// quoteName quotes a possibly-empty analyzer name for a message.
+func quoteName(s string) string {
+	if s == "" {
+		return `"" (empty)`
+	}
+	return `"` + s + `"`
+}

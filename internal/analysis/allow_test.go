@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/analysis"
+	"github.com/rlb-project/rlb/internal/analysis/analysistest"
+)
+
+// TestAllowAnnotationFixture drives the annotation path end to end over a
+// fixture: a reasonless annotation is a finding and suppresses nothing, an
+// unknown analyzer name is a finding, an annotation for the wrong analyzer
+// does not suppress, and a valid annotation does.
+func TestAllowAnnotationFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "allowfix.example/internal/lb", analysis.Determinism)
+}
+
+// TestAllowDiagnosticsSurviveDriver checks the malformed-annotation findings
+// as the driver reports them: attributed to the pseudo-analyzer "simlint"
+// and counted as ordinary findings.
+func TestAllowDiagnosticsSurviveDriver(t *testing.T) {
+	src := analysistest.Fixture(".")
+	ld := analysis.NewLoader(analysis.TreeResolver(src))
+	diags, err := analysis.RunPackages(ld, []string{"allowfix.example/internal/lb"})
+	if err != nil {
+		t.Fatalf("RunPackages: %v", err)
+	}
+	var missingReason, unknownName int
+	for _, d := range diags {
+		if d.Analyzer != "simlint" {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "needs a reason"):
+			missingReason++
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknownName++
+		default:
+			t.Errorf("unexpected simlint diagnostic: %s", d)
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("missing-reason findings = %d, want 1", missingReason)
+	}
+	if unknownName != 1 {
+		t.Errorf("unknown-analyzer findings = %d, want 1", unknownName)
+	}
+}

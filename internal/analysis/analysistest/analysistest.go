@@ -1,0 +1,105 @@
+// Package analysistest runs analyzers over fixture packages and checks their
+// findings against // want "regexp" comments, mirroring the x/tools package
+// of the same name on top of the standard library only.
+//
+// A fixture line expecting one finding per analyzer looks like:
+//
+//	now := time.Now() // want "wall clock"
+//
+// Each quoted string is a regular expression that must match the message of
+// exactly one finding reported on that line; findings with no matching want,
+// and wants with no matching finding, fail the test. Findings suppressed by
+// a valid //simlint:allow annotation never reach the matcher, so fixtures
+// also prove the allowlist path end to end.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe captures each expectation regexp in a // want comment, written as a
+// double-quoted or backquoted Go-style string.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads pkgPath from the GOPATH-style tree rooted at srcRoot (fixture
+// sources live in srcRoot/<pkgPath>) and checks the analyzers' findings
+// against the fixture's want comments.
+func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	ld := analysis.NewLoader(analysis.TreeResolver(srcRoot))
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	pkg, err := ld.Load(pkgPath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment ("// want ...") or be
+				// embedded after other directive text ("//simlint:allow(x)
+				// want ..." — asserting on the annotation's own line).
+				text := "// " + strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len("// want "):]
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					expr := m[1]
+					if m[2] != "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags := analysis.RunAnalyzers(pkg, analyzers)
+	for _, d := range diags {
+		if !claim(wants, d.Pos, d.Analyzer+": "+d.Message) && !claim(wants, d.Pos, d.Message) {
+			t.Errorf("unexpected finding at %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose regexp
+// matches msg.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture returns the conventional fixture root: <dir>/testdata/src.
+func Fixture(dir string) string { return filepath.Join(dir, "testdata", "src") }

@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/analysis"
+	"github.com/rlb-project/rlb/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised over a fixture tree containing at least one true
+// positive, at least one sanctioned (non-finding) idiom, and at least one
+// //simlint:allow-suppressed case (see testdata/src/...).
+
+func TestDeterminismFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "detfix.example/internal/switchsim", analysis.Determinism)
+}
+
+func TestDeterminismHarnessExemption(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "detfix.example/internal/harness", analysis.Determinism)
+}
+
+func TestPoolcheckFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "poolfix.example/internal/switchsim", analysis.Poolcheck)
+}
+
+func TestPoolcheckExemptInsideFabric(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "poolfix.example/internal/fabric", analysis.Poolcheck)
+}
+
+func TestTimercheckFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "timerfix.example/internal/transport", analysis.Timercheck)
+}
+
+func TestTimercheckExemptInsideSim(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "timerfix.example/internal/sim", analysis.Timercheck)
+}
+
+func TestUnitsafeFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "unitfix.example/internal/transport", analysis.Unitsafe)
+}
+
+func TestUnitsafeExemptInsideUnits(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "unitfix.example/internal/units", analysis.Unitsafe)
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages without any external tooling.
+// Packages inside the analyzed tree are resolved by Resolve and type-checked
+// from source; everything else (the standard library) is delegated to the
+// go/importer source importer, which also works offline.
+type Loader struct {
+	// Fset is shared by every file this loader touches.
+	Fset *token.FileSet
+	// Resolve maps an import path to its source directory. It returns
+	// ok=false for paths outside the analyzed tree (i.e. the standard
+	// library).
+	Resolve func(importPath string) (dir string, ok bool)
+	// IncludeTests, when set, also parses _test.go files in loaded packages
+	// (external test packages "_test" are still skipped).
+	IncludeTests bool
+
+	stdlib types.Importer
+	pkgs   map[string]*Package
+	errs   map[string]error
+}
+
+// NewLoader returns a loader with the given in-tree resolver.
+func NewLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		errs:    map[string]error{},
+	}
+}
+
+// ModuleResolver returns a Resolve func for a module rooted at root with the
+// given module path: "<modPath>/x/y" maps to "<root>/x/y".
+func ModuleResolver(root, modPath string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if strings.HasPrefix(path, modPath+"/") {
+			return filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(path, modPath+"/"))), true
+		}
+		return "", false
+	}
+}
+
+// TreeResolver returns a Resolve func for a GOPATH-style source tree: import
+// path "a/b" maps to "<srcRoot>/a/b" when that directory exists. Used by the
+// analyzer fixtures under testdata/src.
+func TreeResolver(srcRoot string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+}
+
+// Import implements types.Importer, so a package under analysis can import
+// other in-tree packages.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := ld.Resolve(path); ok {
+		pkg, err := ld.Load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.stdlib.Import(path)
+}
+
+// Load parses and type-checks the package in dir under import path path,
+// memoizing by path. Type errors are returned, not panicked: the driver
+// reports them as ordinary failures.
+func (ld *Loader) Load(path, dir string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := ld.errs[path]; ok {
+		return nil, err
+	}
+	pkg, err := ld.load(path, dir)
+	if err != nil {
+		ld.errs[path] = err
+		return nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (ld *Loader) load(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !ld.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		// Skip external test packages and files excluded by build tags
+		// (the tree does not use build tags; ignoring them keeps the
+		// loader simple).
+		if strings.HasSuffix(f.Name.Name, "_test") && f.Name.Name != pkgName {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the module
+// root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePackages lists the import paths of every package in the module rooted
+// at root (directories containing .go files), skipping testdata, hidden
+// directories, and vendor. The result is sorted.
+func ModulePackages(root, modPath string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(p))
+		if rerr != nil {
+			return rerr
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != ip {
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	// WalkDir visits files in directory order, so duplicates are already
+	// adjacent; compact defensively anyway.
+	out := paths[:0]
+	for _, p := range paths {
+		if len(out) == 0 || out[len(out)-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolOwnerPackages are the data-plane packages whose functions take
+// ownership of pooled packets and are therefore subject to the leak check.
+// Observer packages (invariant, trace, metrics) inspect packets they do not
+// own and are exempt; internal/fabric implements the pool itself.
+var poolOwnerPackages = []string{
+	"internal/switchsim", "internal/transport", "internal/core",
+	"internal/dcqcn", "internal/topo", "internal/lb",
+}
+
+// Poolcheck is the static twin of the runtime packet-pool conservation
+// invariant (internal/invariant, strict tier). It flags (a) fabric.Packet
+// composite literals and new(fabric.Packet) outside internal/fabric — frames
+// must come from the per-simulation fabric.Pool so the conservation audit
+// sees them — and (b) functions in data-plane packages that own a pooled
+// *fabric.Packet (a parameter or a pool/constructor result that the function
+// consumes on some path) yet have a terminating path on which the packet is
+// neither released, forwarded, stored, nor returned: a leaked frame.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: "fabric.Packet must be constructed inside internal/fabric and " +
+		"consumed (forwarded, stored, returned, or released) on every path",
+	Run: runPoolcheck,
+}
+
+func runPoolcheck(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/fabric") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t := p.TypeOf(n); t != nil && isNamed(t, "internal/fabric", "Packet") {
+					p.Reportf(n.Pos(), "fabric.Packet composite literal outside internal/fabric; frames must come from the simulation's fabric.Pool")
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin {
+						if t := p.TypeOf(n.Args[0]); t != nil && isNamed(t, "internal/fabric", "Packet") {
+							p.Reportf(n.Pos(), "new(fabric.Packet) outside internal/fabric; frames must come from the simulation's fabric.Pool")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	owner := false
+	for _, s := range poolOwnerPackages {
+		if pathHasSuffix(p.Pkg.Path, s) {
+			owner = true
+		}
+	}
+	if !owner {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPacketLeaks(p, fd)
+		}
+	}
+}
+
+// isPacketPtr reports whether t is *fabric.Packet.
+func isPacketPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNamed(ptr.Elem(), "internal/fabric", "Packet")
+}
+
+// checkPacketLeaks runs the per-function leak analysis: for every packet the
+// function owns, walk the body tracking whether the packet has been consumed
+// (passed to a call, returned, stored, or sent) and report terminating paths
+// that drop it. Loops and switches are treated optimistically (a consumption
+// anywhere inside counts), so the check under-reports rather than spamming.
+//
+// Ownership is decided per candidate:
+//   - a variable built from a call returning *fabric.Packet (pool.Data,
+//     pool.Control, fabric.NewData, ...) is always owned from its
+//     definition onward;
+//   - a parameter is owned only when the function shows ownership evidence —
+//     it stores, returns, or sends the packet somewhere, or hands it to a
+//     consuming sink (Port.Enqueue, Device.Receive, SendControl,
+//     fabric.Release). Pure decision functions (lb.Chooser.Choose,
+//     Router.Route, Agent.Pick) lend the packet to helpers without owning
+//     it and are exempt.
+func checkPacketLeaks(p *Pass, fd *ast.FuncDecl) {
+	type candidate struct {
+		obj    types.Object
+		defPos token.Pos
+		param  bool
+	}
+	var cands []candidate
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := p.ObjectOf(name)
+				if obj != nil && isPacketPtr(obj.Type()) {
+					cands = append(cands, candidate{obj: obj, defPos: fd.Body.Pos(), param: true})
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+			return true
+		}
+		if obj := p.ObjectOf(id); obj != nil && isPacketPtr(obj.Type()) {
+			cands = append(cands, candidate{obj: obj, defPos: as.Pos()})
+		}
+		return true
+	})
+
+	for _, cand := range cands {
+		lc := &leakChecker{pass: p, obj: cand.obj, defPos: cand.defPos}
+		if cand.param && !lc.ownershipEvidence(fd.Body) {
+			continue
+		}
+		end := lc.walk(fd.Body.List, false)
+		if !end.terminated && !end.consumed {
+			p.Reportf(fd.Body.Rbrace, "function %s can fall through without releasing or forwarding %s; call fabric.Release on every terminating path", fd.Name.Name, cand.obj.Name())
+		}
+	}
+}
+
+// sinkNames are callee names that take ownership of a packet argument:
+// enqueueing it on a port, delivering it to a device, or returning it to the
+// pool. fabric.Release is matched by package as well.
+var sinkNames = map[string]bool{
+	"Enqueue": true, "Receive": true, "SendControl": true, "Release": true,
+}
+
+// leakChecker tracks one packet object through one function body.
+type leakChecker struct {
+	pass   *Pass
+	obj    types.Object
+	defPos token.Pos
+}
+
+// ownershipEvidence reports whether the function stores, returns, or sends
+// the packet, or passes it to a consuming sink — the signals that it owns
+// the frame rather than merely inspecting it.
+func (lc *leakChecker) ownershipEvidence(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			if !lc.isSinkCall(m) {
+				return true
+			}
+			for _, arg := range m.Args {
+				if lc.mentions(arg) {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			// Only returning the packet itself transfers ownership;
+			// "return helper(pkt)" merely lends it for the call.
+			for _, r := range m.Results {
+				if lc.isBareObj(r) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			// "x = pkt" / "x = &pkt" alias the packet into other state;
+			// "x = helper(pkt)" only lends it (composite literals holding
+			// the bare packet are caught by the CompositeLit case below).
+			for _, r := range m.Rhs {
+				if lc.isBareObj(r) {
+					found = true
+				}
+				if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.AND && lc.isBareObj(u.X) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if lc.isBareObj(v) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if lc.mentions(m.Value) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBareObj reports whether e is exactly the tracked packet identifier.
+func (lc *leakChecker) isBareObj(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && lc.pass.ObjectOf(id) == lc.obj
+}
+
+// isSinkCall reports whether call invokes a packet-consuming sink.
+func (lc *leakChecker) isSinkCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return sinkNames[fun.Sel.Name]
+	case *ast.Ident:
+		return sinkNames[fun.Name]
+	}
+	return false
+}
+
+// flowState is the packet's state at a program point.
+type flowState struct {
+	consumed   bool // the packet has been consumed on every path reaching here
+	terminated bool // control cannot fall through (return/panic on all paths)
+}
+
+// walk processes a statement list, reporting returns that drop the packet,
+// and returns the state at the fall-through point.
+func (lc *leakChecker) walk(stmts []ast.Stmt, consumed bool) flowState {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			// Returns before the packet exists cannot drop it.
+			if s.Pos() >= lc.defPos && !consumed && !lc.stmtConsumes(s) {
+				lc.pass.Reportf(s.Pos(), "return drops pooled packet %s without releasing or forwarding it; call fabric.Release or hand it off first", lc.obj.Name())
+			}
+			return flowState{consumed: true, terminated: true}
+		case *ast.IfStmt:
+			if s.Init != nil && lc.stmtConsumes(s.Init) {
+				consumed = true
+			}
+			if lc.exprConsumes(s.Cond) {
+				consumed = true
+			}
+			thenSt := lc.walk(s.Body.List, consumed)
+			elseSt := flowState{consumed: consumed}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseSt = lc.walk(e.List, consumed)
+			case *ast.IfStmt:
+				elseSt = lc.walk([]ast.Stmt{e}, consumed)
+			}
+			switch {
+			case thenSt.terminated && elseSt.terminated:
+				return flowState{consumed: true, terminated: true}
+			case thenSt.terminated:
+				consumed = elseSt.consumed
+			case elseSt.terminated:
+				consumed = thenSt.consumed
+			default:
+				consumed = thenSt.consumed && elseSt.consumed
+			}
+		case *ast.BlockStmt:
+			st := lc.walk(s.List, consumed)
+			if st.terminated {
+				return st
+			}
+			consumed = st.consumed
+		case *ast.ExprStmt:
+			if isPanicCall(s.X) {
+				return flowState{consumed: true, terminated: true}
+			}
+			if lc.stmtConsumes(s) {
+				consumed = true
+			}
+		default:
+			// Loops, switches, selects, assignments, defers: optimistic —
+			// any consumption inside counts for the remainder of the path.
+			if lc.stmtConsumes(s) {
+				consumed = true
+			}
+		}
+	}
+	return flowState{consumed: consumed}
+}
+
+// stmtConsumes reports whether any consuming use of the packet occurs inside
+// n. Consuming uses: appearing in a call's arguments, in a return, as an
+// assignment's right-hand side (storing/aliasing), in a composite literal, or
+// as a channel-send value. A bare method call on the packet or a field read
+// does not consume.
+func (lc *leakChecker) stmtConsumes(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				if lc.mentions(arg) {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if lc.mentions(r) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range m.Rhs {
+				if lc.mentionsBare(r) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if lc.mentions(el) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if lc.mentions(m.Value) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (lc *leakChecker) exprConsumes(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	return lc.stmtConsumes(e)
+}
+
+// mentions reports whether the packet identifier appears anywhere in e except
+// as the receiver of a selector (pkt.Size reads, pkt.Foo() calls).
+func (lc *leakChecker) mentions(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && lc.pass.ObjectOf(id) == lc.obj {
+				return false // receiver position: a read, not a hand-off
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && lc.pass.ObjectOf(id) == lc.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsBare is mentions restricted to the whole expression being the
+// packet (possibly parenthesized): "x = pkt" stores it, "x = pkt.Seq" only
+// reads it.
+func (lc *leakChecker) mentionsBare(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return lc.pass.ObjectOf(x) == lc.obj
+	case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr:
+		// Wrapping the packet in a literal, call, or &expr still hands the
+		// reference off.
+		return lc.mentions(e)
+	}
+	return false
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

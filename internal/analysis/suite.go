@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Suite returns the full simlint analyzer suite in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Determinism, Poolcheck, Timercheck, Unitsafe}
+}
+
+// RunModule loads every package of the module rooted at root and runs the
+// suite over each, returning all surviving findings. Load or type-check
+// failures are returned as the error; findings are not errors.
+func RunModule(root string) ([]Diagnostic, error) {
+	root, modPath, err := FindModule(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := ModulePackages(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(NewLoader(ModuleResolver(root, modPath)), paths)
+}
+
+// RunPackages loads each import path with ld and runs the suite, collecting
+// findings across all packages.
+func RunPackages(ld *Loader, paths []string) ([]Diagnostic, error) {
+	suite := Suite()
+	var all []Diagnostic
+	for _, path := range paths {
+		dir, ok := ld.Resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("analysis: cannot resolve %s", path)
+		}
+		pkg, err := ld.Load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, RunAnalyzers(pkg, suite)...)
+	}
+	return all, nil
+}
+
+// Print writes findings one per line in file:line:col form.
+func Print(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}

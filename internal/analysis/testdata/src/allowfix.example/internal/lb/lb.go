@@ -1,0 +1,31 @@
+// Package lb is an annotation-path fixture: malformed //simlint:allow
+// annotations are findings in their own right, and a valid annotation only
+// suppresses its own analyzer.
+package lb
+
+import "time"
+
+// MissingReason has an annotation with no justification: the annotation is a
+// finding AND it fails to suppress, so the wall-clock read still reports.
+func MissingReason() time.Time {
+	//simlint:allow(determinism) // want `simlint:allow\(determinism\) needs a reason`
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer() time.Time {
+	//simlint:allow(nosuchcheck) the reason does not save an unknown name // want `simlint:allow names unknown analyzer "nosuchcheck"`
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// WrongAnalyzer suppresses a different analyzer than the one that fires.
+func WrongAnalyzer() time.Time {
+	//simlint:allow(unitsafe) reason aimed at the wrong analyzer
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// Valid is the control: correctly suppressed.
+func Valid() time.Time {
+	//simlint:allow(determinism) fixture: wall clock feeds a log timestamp only
+	return time.Now()
+}

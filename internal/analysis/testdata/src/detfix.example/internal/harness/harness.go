@@ -1,0 +1,28 @@
+// Package harness is a determinism-analyzer fixture proving the worker
+// fan-out exemption: goroutines and select are legal in internal/harness,
+// while the other determinism rules still apply.
+package harness
+
+import "time"
+
+// FanOut mirrors the real harness worker pool: allowed.
+func FanOut(jobs []func()) {
+	done := make(chan struct{})
+	for _, j := range jobs {
+		j := j
+		go func() {
+			j()
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		select {
+		case <-done:
+		}
+	}
+}
+
+// StillNoWallClock proves the exemption is scoped to concurrency.
+func StillNoWallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}

@@ -1,0 +1,92 @@
+// Package switchsim is a determinism-analyzer fixture standing in for a
+// simulation package (its import path ends in internal/switchsim).
+package switchsim
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand in simulation package`
+	"sort"
+	"time"
+)
+
+// WallClock exercises the time-package rules.
+func WallClock() int64 {
+	now := time.Now() // want `time.Now reads the wall clock`
+	time.Sleep(1)     // want `time.Sleep reads the wall clock`
+	return now.UnixNano() + int64(rand.Int())
+}
+
+// AllowedWallClock shows a justified suppression.
+func AllowedWallClock() time.Time {
+	//simlint:allow(determinism) fixture: wall clock feeds a perf counter only
+	return time.Now()
+}
+
+// Spawn exercises the goroutine and select rules.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement in simulation package`
+	select {                // want `select statement in simulation package`
+	case <-ch:
+	default:
+	}
+}
+
+// EmitUnsorted ranges over a map and prints inside the loop: iteration order
+// reaches the output.
+func EmitUnsorted(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `order-dependent statement inside range over map m`
+	}
+}
+
+// CollectUnsorted appends map values without sorting them afterwards.
+func CollectUnsorted(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `order-dependent statement inside range over map m`
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned idiom: extract, sort, iterate.
+func SortedKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Aggregate folds commutatively and writes through the key: order free.
+func Aggregate(m map[int]int, dst map[int]int) int {
+	total := 0
+	for k, v := range m {
+		total += v
+		dst[k] = v
+		if v == 0 {
+			delete(dst, k)
+		}
+	}
+	return total
+}
+
+// MinOverMap assigns a plain variable inside the loop: ties resolve in map
+// order, so the result is nondeterministic.
+func MinOverMap(m map[int]int) int {
+	best := -1
+	for _, v := range m {
+		if v < best {
+			best = v // want `order-dependent statement inside range over map m`
+		}
+	}
+	return best
+}
+
+// AllowedEmit shows a justified suppression on the preceding line.
+func AllowedEmit(m map[int]string) {
+	for k := range m {
+		//simlint:allow(determinism) fixture: debug dump, never reaches figures
+		fmt.Println(k)
+	}
+}

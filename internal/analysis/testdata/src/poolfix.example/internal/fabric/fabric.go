@@ -1,0 +1,35 @@
+// Package fabric is a poolcheck fixture standing in for the real packet
+// fabric (its import path ends in internal/fabric, so construction here is
+// legal).
+package fabric
+
+// Packet is the pooled frame type.
+type Packet struct {
+	Type int
+	Size int
+	Seq  uint32
+}
+
+// Pool hands out and reclaims packets.
+type Pool struct{ free []*Packet }
+
+// Data returns a pooled data frame.
+func (pl *Pool) Data(seq uint32, size int) *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		*p = Packet{Seq: seq, Size: size}
+		return p
+	}
+	return &Packet{Seq: seq, Size: size}
+}
+
+// Control returns a pooled control frame.
+func (pl *Pool) Control(t int) *Packet {
+	p := pl.Data(0, 64)
+	p.Type = t
+	return p
+}
+
+// Release returns a frame to its pool.
+func Release(p *Packet) {}

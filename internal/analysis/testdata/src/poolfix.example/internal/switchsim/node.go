@@ -1,0 +1,96 @@
+// Package switchsim is a poolcheck fixture: a data-plane package whose
+// functions own pooled packets.
+package switchsim
+
+import "poolfix.example/internal/fabric"
+
+// Port is a consuming sink (Enqueue takes ownership).
+type Port struct{ q []*fabric.Packet }
+
+// Enqueue takes ownership of pkt.
+func (p *Port) Enqueue(pkt *fabric.Packet) { p.q = append(p.q, pkt) }
+
+// Node is a minimal switch.
+type Node struct {
+	pool  *fabric.Pool
+	ports []*Port
+	held  *fabric.Packet
+}
+
+// BuildRaw constructs packets outside the pool: both forms are findings.
+func BuildRaw() []*fabric.Packet {
+	a := &fabric.Packet{Size: 64} // want `fabric.Packet composite literal outside internal/fabric`
+	b := new(fabric.Packet)       // want `new\(fabric.Packet\) outside internal/fabric`
+	return []*fabric.Packet{a, b}
+}
+
+// LeakyForward owns pkt (it enqueues on one path) but drops it on the
+// congested path without releasing it.
+func (n *Node) LeakyForward(pkt *fabric.Packet, congested bool) {
+	if congested {
+		return // want `return drops pooled packet pkt`
+	}
+	n.ports[0].Enqueue(pkt)
+}
+
+// CleanForward consumes pkt on every path.
+func (n *Node) CleanForward(pkt *fabric.Packet, congested bool) {
+	if congested {
+		fabric.Release(pkt)
+		return
+	}
+	n.ports[0].Enqueue(pkt)
+}
+
+// LeakyBuild gets a frame from the pool and forgets it on the early path.
+func (n *Node) LeakyBuild(quiet bool) {
+	pkt := n.pool.Control(1)
+	if quiet {
+		return // want `return drops pooled packet pkt`
+	}
+	n.ports[0].Enqueue(pkt)
+}
+
+// EarlyGuardIsFine returns before the packet exists.
+func (n *Node) EarlyGuardIsFine(quiet bool) {
+	if quiet {
+		return
+	}
+	pkt := n.pool.Data(1, 1000)
+	n.ports[0].Enqueue(pkt)
+}
+
+// Observe only reads the packet: no ownership, no obligation.
+func (n *Node) Observe(pkt *fabric.Packet, limit int) bool {
+	if pkt.Size > limit {
+		return false
+	}
+	return pkt.Type == 0
+}
+
+// StoreTakesOwnership parks the packet in the node: consuming on that path,
+// so the other path's drop is a finding.
+func (n *Node) StoreTakesOwnership(pkt *fabric.Packet, park bool) {
+	if park {
+		n.held = pkt
+		return
+	}
+	return // want `return drops pooled packet pkt`
+}
+
+// AllowedLeak is a justified suppression: ownership is documented to pass to
+// the caller's caller.
+func (n *Node) AllowedLeak(pkt *fabric.Packet, congested bool) {
+	if congested {
+		return //simlint:allow(poolcheck) fixture: wire loss accounting releases this frame
+	}
+	n.ports[0].Enqueue(pkt)
+}
+
+// FallThroughLeak owns the frame but can fall off the end still holding it.
+func (n *Node) FallThroughLeak(arm bool) {
+	pkt := n.pool.Data(2, 500)
+	if arm {
+		n.ports[0].Enqueue(pkt)
+	}
+} // want `function FallThroughLeak can fall through without releasing or forwarding pkt`

@@ -1,0 +1,18 @@
+// Package sim is a timercheck fixture standing in for the real engine: Timer
+// is a generation-checked value handle.
+package sim
+
+// Timer is a value handle to a scheduled event.
+type Timer struct {
+	slot int
+	gen  uint64
+}
+
+// Stop cancels the event; stale handles are no-ops.
+func (t Timer) Stop() bool { return t.gen != 0 }
+
+// Engine schedules events.
+type Engine struct{ now int64 }
+
+// After returns a value handle.
+func (e *Engine) After(d int64) Timer { return Timer{slot: 1, gen: 1} }

@@ -1,0 +1,37 @@
+// Package transport is a timercheck fixture: a model package that must keep
+// sim.Timer handles as values.
+package transport
+
+import "timerfix.example/internal/sim"
+
+// Sender holds timers correctly (by value) and incorrectly (by pointer).
+type Sender struct {
+	pacer sim.Timer
+	rto   *sim.Timer // want `\*sim.Timer pointer`
+}
+
+// Rearm exercises address-taking and pointer declarations.
+func (s *Sender) Rearm(e *sim.Engine) {
+	s.pacer = e.After(10)
+	p := &s.pacer // want `taking the address of a sim.Timer`
+	_ = p
+	var q *sim.Timer // want `\*sim.Timer pointer`
+	_ = q
+}
+
+// Compare exercises pointer comparison (the declarations are also findings).
+func Compare(a, b *sim.Timer) bool { // want `\*sim.Timer pointer`
+	return a == b // want `comparing \*sim.Timer pointers`
+}
+
+// ByValue is the sanctioned style.
+func ByValue(e *sim.Engine) bool {
+	t := e.After(5)
+	u := t
+	return u.Stop()
+}
+
+// AllowedPointer is a justified suppression.
+type AllowedPointer struct {
+	shared *sim.Timer //simlint:allow(timercheck) fixture: engine-internal bridge documented in DESIGN.md
+}

@@ -1,0 +1,12 @@
+// Package sim is a unitsafe fixture: Time is picoseconds.
+package sim
+
+// Time is a point in virtual time, in picoseconds.
+type Time int64
+
+// Unit constants.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+)

@@ -1,0 +1,34 @@
+// Package transport is a unitsafe fixture: model code that must not mix raw
+// integer literals into dimensioned values.
+package transport
+
+import (
+	"unitfix.example/internal/sim"
+	"unitfix.example/internal/units"
+)
+
+// Pace exercises the additive and comparison rules on sim.Time.
+func Pace(t sim.Time) sim.Time {
+	t = t + 500   // want `raw integer literal added to a sim.Time value`
+	t -= 3        // want `raw integer literal folded into a sim.Time value`
+	if t > 1000 { // want `raw integer literal compared against a sim.Time value`
+		t = t - 2*sim.Nanosecond // fine: the literal scales a unit constant
+	}
+	if t > 0 { // fine: zero carries no unit
+		t = 2 * t // fine: dimensionless scaling
+	}
+	return t + 500*sim.Nanosecond
+}
+
+// Rate exercises the same rules on units.Bandwidth.
+func Rate(b units.Bandwidth) units.Bandwidth {
+	if b < 40 { // want `raw integer literal compared against a units.Bandwidth value`
+		b += 10 * units.Gbps // fine
+	}
+	return b / 2 // fine: halving is dimensionless
+}
+
+// Allowed is a justified suppression.
+func Allowed(t sim.Time) sim.Time {
+	return t + 1 //simlint:allow(unitsafe) fixture: +1ps tie-break documented in the engine contract
+}

@@ -1,0 +1,16 @@
+// Package units is a unitsafe fixture: Bandwidth in bits per second. The
+// package itself is exempt (it defines the constructors).
+package units
+
+// Bandwidth is a rate in bits per second.
+type Bandwidth int64
+
+// Unit constants.
+const (
+	BitPerSecond Bandwidth = 1
+	Kbps                   = 1000 * BitPerSecond
+	Gbps                   = 1000 * 1000 * Kbps
+)
+
+// Legal here: the constructor package owns raw-integer arithmetic.
+func FromMbps(m int64) Bandwidth { return Bandwidth(m)*Kbps*1000 + 0 }

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Timercheck enforces that sim.Timer handles stay values. The engine hands
+// out generation-checked value handles precisely so a handle held across a
+// slot reuse goes stale safely; taking a Timer's address, declaring
+// *sim.Timer, or comparing Timer pointers reintroduces the aliasing the
+// generation check exists to prevent (the stale-handle bug fixed in the
+// event-pool refactor). internal/sim itself is exempt: the engine manages
+// the underlying event slots.
+var Timercheck = &Analyzer{
+	Name: "timercheck",
+	Doc:  "sim.Timer is a value handle: no *sim.Timer, no &timer, no pointer comparison",
+	Run:  runTimercheck,
+}
+
+func runTimercheck(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/sim") {
+		return
+	}
+	isTimer := func(e ast.Expr) bool {
+		t := p.TypeOf(e)
+		return t != nil && isNamed(t, "internal/sim", "Timer")
+	}
+	isTimerPtr := func(e ast.Expr) bool {
+		t := p.TypeOf(e)
+		return t != nil && isPtrToNamed(t, "internal/sim", "Timer")
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && isTimer(n.X) {
+					p.Reportf(n.Pos(), "taking the address of a sim.Timer; handles are values — store and pass them by value")
+				}
+			case *ast.StarExpr:
+				// Covers the type form *sim.Timer in declarations, fields,
+				// parameters, results, conversions, and composite types.
+				if isTimerPtr(n) || isTimer(n.X) {
+					p.Reportf(n.Pos(), "*sim.Timer pointer; handles are generation-checked values — pointer aliasing reintroduces stale-handle bugs")
+				}
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) && (isTimerPtr(n.X) || isTimerPtr(n.Y)) {
+					p.Reportf(n.Pos(), "comparing *sim.Timer pointers; compare engine state via Pending/When instead")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// guardedUnits are the dimensioned types whose values must not absorb raw
+// integer literals through additive arithmetic. (Byte sizes remain plain
+// ints in this tree — there is no named byte-size type to guard yet; see
+// TESTING.md.)
+var guardedUnits = []struct{ pkg, name string }{
+	{"internal/sim", "Time"},
+	{"internal/units", "Bandwidth"},
+}
+
+// Unitsafe flags additive arithmetic and comparisons that mix a dimensioned
+// value (sim.Time, units.Bandwidth) with a raw non-zero integer literal:
+// "t + 500" silently means 500 picoseconds, which is almost never what was
+// intended — write "t + 500*sim.Nanosecond" or use the units constructors.
+// Multiplicative scaling ("4 * ideal", "t / 2") is dimensionally sound and
+// stays legal, as does comparison against zero. internal/units itself is
+// exempt: it implements the constructors.
+var Unitsafe = &Analyzer{
+	Name: "unitsafe",
+	Doc: "no raw integer literals added to or compared against sim.Time / " +
+		"units.Bandwidth values; scale with the unit constants instead",
+	Run: runUnitsafe,
+}
+
+// unitAdditiveOps are the flagged binary operators: additive arithmetic and
+// ordered/equality comparison. MUL/QUO/shifts scale a dimensioned value by a
+// dimensionless factor, which is fine.
+var unitAdditiveOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.REM: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+var unitAdditiveAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.REM_ASSIGN: true,
+}
+
+func runUnitsafe(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/units") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !unitAdditiveOps[n.Op] {
+					return true
+				}
+				name := p.guardedUnit(n.X)
+				lit := n.Y
+				if name == "" {
+					name, lit = p.guardedUnit(n.Y), n.X
+				}
+				if name != "" && p.rawNonZeroInt(lit) {
+					p.Reportf(n.Pos(), "raw integer literal %s a %s value; scale with the unit constants (e.g. sim.Nanosecond, units.Gbps)", opVerb(n.Op), name)
+				}
+			case *ast.AssignStmt:
+				if !unitAdditiveAssignOps[n.Tok] || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				if name := p.guardedUnit(n.Lhs[0]); name != "" && p.rawNonZeroInt(n.Rhs[0]) {
+					p.Reportf(n.Pos(), "raw integer literal folded into a %s value with %s; scale with the unit constants", name, n.Tok)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardedUnit returns the short name of the dimensioned type of e ("sim.Time"
+// or "units.Bandwidth"), or "" when e is not a guarded unit. Raw literal
+// expressions are never "guarded": go/types records untyped constants at
+// their materialized contextual type, so a bare 5 in "t + 5" already reads
+// as sim.Time — rawness must come from the syntax.
+func (p *Pass) guardedUnit(e ast.Expr) string {
+	if isRawLiteral(e) {
+		return ""
+	}
+	t := p.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	for _, g := range guardedUnits {
+		if isNamed(t, g.pkg, g.name) {
+			return g.pkg[len("internal/"):] + "." + g.name
+		}
+	}
+	return ""
+}
+
+// rawNonZeroInt reports whether e is a raw non-zero integer literal
+// expression: built solely from integer literals (parentheses, unary +/-/^,
+// and arithmetic over literals included), mentioning no named constant.
+// Zero is allowed — comparing a duration to 0 carries no hidden unit.
+func (p *Pass) rawNonZeroInt(e ast.Expr) bool {
+	if !isRawLiteral(e) {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+		return false
+	}
+	return true
+}
+
+// isRawLiteral reports whether e is composed only of basic literals and
+// operators — no identifiers, so no named unit constant can be carrying the
+// dimension.
+func isRawLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return isRawLiteral(e.X)
+	case *ast.UnaryExpr:
+		return isRawLiteral(e.X)
+	case *ast.BinaryExpr:
+		return isRawLiteral(e.X) && isRawLiteral(e.Y)
+	default:
+		return false
+	}
+}
+
+func opVerb(op token.Token) string {
+	switch op {
+	case token.ADD:
+		return "added to"
+	case token.SUB:
+		return "subtracted from"
+	case token.REM:
+		return "taken modulo"
+	default:
+		return "compared against"
+	}
+}

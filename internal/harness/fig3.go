@@ -45,6 +45,12 @@ func runMotivations(specs []MotivationSpec) []*MotivationResult {
 	sem := make(chan struct{}, maxWorkers(len(specs)))
 	for i := range specs {
 		i := i
+		// Worker-isolation contract: each RunMotivation builds its own
+		// engine, topology, and seeded RNG streams from specs[i] alone and
+		// shares no mutable state with its siblings. Workers write only
+		// results[i] — a distinct element per goroutine — so the only
+		// synchronization needed is the completion channel, and output is
+		// identical for any worker count.
 		go func() {
 			sem <- struct{}{}
 			results[i] = RunMotivation(specs[i])

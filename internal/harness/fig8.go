@@ -133,6 +133,12 @@ func incastSweep(s Scale, degrees []int, sizes []int, reps int, seed uint64) map
 	done := make(chan struct{})
 	for i := range jobs {
 		i := i
+		// Worker-isolation contract: runIncast constructs a private engine
+		// and RNG streams from the job's value-typed fields; nothing mutable
+		// is shared across workers. Each goroutine writes only outs[i], and
+		// the aggregation below reads outs in the fixed fig8Schemes × degrees
+		// order, so the sweep is deterministic regardless of worker count or
+		// completion order.
 		go func() {
 			sem <- struct{}{}
 			outs[i] = runIncast(s, jobs[i].scheme, jobs[i].degree, jobs[i].total, reps, jobs[i].seed)

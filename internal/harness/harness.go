@@ -86,6 +86,7 @@ func (r *Result) PauseRatePerMs() float64 {
 
 // Run executes one simulation to completion.
 func Run(cfg RunConfig) *Result {
+	//simlint:allow(determinism) wall-clock feeds only the Wall perf counter, never simulation state
 	start := time.Now()
 	cfg.Topo.Seed = cfg.Seed + 1
 	checker := cfg.Topo.Checker
@@ -129,7 +130,7 @@ func Run(cfg RunConfig) *Result {
 		Recircs:         n.Recirculations(),
 		Drops:           n.Drops(),
 		SimTime:         n.Eng.Now(),
-		Wall:            time.Since(start),
+		Wall:            time.Since(start), //simlint:allow(determinism) wall-clock perf counter only; excluded from golden figures
 		Events:          n.Eng.Executed,
 		WireLost:        n.WireLost(),
 		Violations:      checker.Violations(),
@@ -192,6 +193,11 @@ func runAllN(cfgs []RunConfig, workers int) []*Result {
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// Worker-isolation contract: Run(cfgs[i]) is a pure function of its
+		// config — it builds a fresh engine, network, and seeded RNG streams
+		// per call. Workers communicate only via the idx channel and write
+		// disjoint results[i] slots, so no locks are needed and the output
+		// is byte-identical for any worker count.
 		go func() {
 			defer wg.Done()
 			for i := range idx {

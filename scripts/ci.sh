@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# CI gate for the RLB simulator. Runs the tiers in fail-fast order:
+#
+#   1. build       — everything compiles
+#   2. lint        — go vet + simlint (determinism / poolcheck / timercheck /
+#                    unitsafe; see TESTING.md "Static analysis tier")
+#   3. race smoke  — -race -short over the simulator internals
+#   4. full suite  — bench-smoke perf gate + all tests incl. golden figures
+#
+# Each tier only runs if the previous one passed, so a compile error is not
+# buried under lint output and a lint finding is not buried under test logs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+
+echo "==> build"
+"$GO" build ./...
+
+echo "==> lint (vet + simlint)"
+"$GO" vet ./...
+"$GO" run ./cmd/simlint ./...
+
+echo "==> race smoke (-race -short)"
+"$GO" test -race -short ./internal/...
+
+# The lint and race tiers above already ran, so invoke the remaining
+# `make test` pieces directly instead of re-running them through make.
+echo "==> full suite (perf smoke + tests + golden figures)"
+make bench-smoke
+"$GO" test ./...
+
+echo "==> ci passed"
