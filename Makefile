@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-short vet lint simlint golden bench bench-smoke bench-json clean ci
+.PHONY: all build test short race race-short vet lint simlint golden bench bench-smoke bench-json bench-gate clean ci
 
 all: build lint test
 
@@ -21,15 +21,24 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EngineDispatchTyped|PortPingPong' -benchtime 100x -benchmem ./internal/sim/ ./internal/fabric/
 
 # Regenerate the committed perf trajectory: run the tracked benchmarks and
-# join them against the pre-refactor baseline (testdata/bench_baseline_pr2.json)
-# into BENCH_PR2.json. Figures run at 3 iterations to match how the baseline
-# was captured; see TESTING.md's Performance section.
+# join them against the PR-2 record (BENCH_PR2.json, the pre-calendar-queue
+# state) into BENCH_PR4.json. Figures run at 3 iterations to match how the
+# baseline was captured; the scale-tier and cancel/rollover benchmarks are
+# new in PR 4 and appear without a "before". See TESTING.md's Performance
+# section.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineScheduleRun|BenchmarkEngineDispatchTyped' -benchmem ./internal/sim/ ; \
-	  $(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree' -benchmem -benchtime 3x . ; } \
-	| $(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_pr2.json \
-		-note "after: typed pooled events + packet free list" -out BENCH_PR2.json
-	@cat BENCH_PR2.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineScheduleRun|BenchmarkEngineDispatchTyped|BenchmarkEngineScheduleCancel|BenchmarkEngineBucketRollover' -benchmem ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . ; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_PR2.json \
+		-note "after: calendar-queue scheduler + lazy timer cancellation" -out BENCH_PR4.json
+	@cat BENCH_PR4.json
+
+# Perf regression gate: rerun the figure and scale benchmarks and compare
+# events/sec against the committed BENCH_PR4.json with a ±10% tolerance.
+# Wall-clock sensitive, so CI only runs it when RLB_BENCH_GATE=1 (scripts/ci.sh).
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . \
+	| $(GO) run ./cmd/benchjson -gate BENCH_PR4.json -tolerance 10
 
 # Quick iteration loop: skips the bench-scale golden run.
 short:

@@ -101,6 +101,24 @@ func BenchmarkFig10bDeltaTSensitivity(b *testing.B) {
 	}
 }
 
+// The Scale* benchmarks are the large-topology tier: one 8×8/8-fabric
+// simulation per iteration at harness.ScaleTier, an order of magnitude more
+// hosts and links than BenchScale. They measure raw engine throughput where
+// scheduler cost dominates; BENCH_PR4.json tracks their events/sec.
+func BenchmarkScaleFabricDrillRLB(b *testing.B) {
+	defer reportEvents(b, harness.TotalEvents())
+	for i := 0; i < b.N; i++ {
+		harness.ScaleThroughput(harness.ScaleTier, "drill+rlb", benchSeed)
+	}
+}
+
+func BenchmarkScaleFabricECMP(b *testing.B) {
+	defer reportEvents(b, harness.TotalEvents())
+	for i := 0; i < b.N; i++ {
+		harness.ScaleThroughput(harness.ScaleTier, "ecmp", benchSeed)
+	}
+}
+
 func BenchmarkExtIRNComparison(b *testing.B) {
 	defer reportEvents(b, harness.TotalEvents())
 	for i := 0; i < b.N; i++ {

@@ -7,9 +7,15 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson [-baseline old.json] [-out new.json]
+//	go test -bench Fig -benchmem . | benchjson -gate BENCH_PR4.json [-tolerance 10]
 //
 // The baseline file may be a bare run (its "benchmarks" map) or a previous
 // joined record (its "after" map is then the new "before").
+//
+// Gate mode (-gate, used by `make bench-gate`) compares the fresh run's
+// events/sec against the committed record instead of emitting JSON: any
+// benchmark whose throughput falls more than -tolerance percent below the
+// committed figure fails the gate with exit status 1.
 package main
 
 import (
@@ -102,10 +108,46 @@ func pct(before, after float64) float64 {
 	return 100 * (after - before) / before
 }
 
+// gate compares a fresh run's events/sec against the committed record and
+// reports whether every shared benchmark stayed within tolerance. Benchmarks
+// without an events/sec metric on both sides (micro-benchmarks, new
+// additions) are skipped: wall-clock ns/op is too machine-dependent to gate
+// on, while events/sec regressions on the same machine mean the engine got
+// slower.
+func gate(committed map[string]Bench, cur map[string]Bench, tolerancePct float64) bool {
+	ok := true
+	checked := 0
+	for name, c := range committed {
+		if c.EventsPerSec == 0 {
+			continue
+		}
+		a, present := cur[name]
+		if !present || a.EventsPerSec == 0 {
+			continue
+		}
+		checked++
+		ratio := a.EventsPerSec / c.EventsPerSec
+		verdict := "ok"
+		if ratio < 1-tolerancePct/100 {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("gate %-28s committed %12.0f ev/s, now %12.0f ev/s (%+.1f%%) %s\n",
+			name, c.EventsPerSec, a.EventsPerSec, 100*(ratio-1), verdict)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: gate found no shared events/sec benchmarks to compare")
+		return false
+	}
+	return ok
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to diff against (bare run or previous joined record)")
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note embedded in the record")
+	gateFile := flag.String("gate", "", "committed record to gate the fresh run's events/sec against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 10, "allowed events/sec shortfall in percent for -gate")
 	flag.Parse()
 
 	cur, err := parse(bufio.NewScanner(os.Stdin))
@@ -116,6 +158,29 @@ func main() {
 	if len(cur) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *gateFile != "" {
+		raw, err := os.ReadFile(*gateFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var committed Record
+		if err := json.Unmarshal(raw, &committed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		ref := committed.After
+		if ref == nil {
+			ref = committed.Benchmarks
+		}
+		if !gate(ref, cur, *tolerance) {
+			fmt.Fprintf(os.Stderr, "benchjson: events/sec regressed more than %.0f%% below %s\n", *tolerance, *gateFile)
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate passed (tolerance %.0f%%)\n", *tolerance)
+		return
 	}
 
 	rec := Record{Go: runtime.Version(), Note: *note}

@@ -49,6 +49,7 @@ func main() {
 	killAt := flag.Duration("kill-at", time.Millisecond, "fault plane: when to kill the links")
 	restoreAt := flag.Duration("restore-at", 0, "fault plane: when to restore them (0 = never)")
 	strict := flag.Bool("strict", false, "enable the strict invariant-checker tier")
+	sched := flag.String("sched", "calendar", "event scheduler: calendar|heap (heap is the reference implementation, for A/B debugging)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
@@ -95,6 +96,12 @@ func main() {
 	if *asym {
 		p = scale.AsymTopoParams()
 	}
+	kind, ok := sim.SchedulerByName(*sched)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rlbsim: unknown -sched %q (want calendar or heap)\n", *sched)
+		os.Exit(2)
+	}
+	p.Scheduler = kind
 	if *probe > 0 {
 		p.ProbeInterval = sim.FromStd(*probe)
 	}

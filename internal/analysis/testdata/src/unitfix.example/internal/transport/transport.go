@@ -28,6 +28,26 @@ func Rate(b units.Bandwidth) units.Bandwidth {
 	return b / 2 // fine: halving is dimensionless
 }
 
+// bucketWidth mirrors the calendar-queue geometry: a shift scales the typed
+// one-picosecond value by a dimensionless power of two, which is legal.
+const bucketWidth = sim.Time(1) << 14
+
+// Align exercises the bucket-width idioms from the calendar queue: scaling
+// and same-unit alignment arithmetic are fine, but folding raw literals into
+// the additive or modulo operations is flagged.
+func Align(t sim.Time) sim.Time {
+	if t%16384 == 0 { // want `raw integer literal taken modulo a sim.Time value`
+		return t
+	}
+	t = t - t%bucketWidth // fine: both modulo operands carry the unit
+	if t+16384 > bucketWidth { // want `raw integer literal added to a sim.Time value`
+		t += 4 * bucketWidth // fine: the literal scales a typed constant
+	}
+	t %= 16384 // want `raw integer literal folded into a sim.Time value with %=`
+	span := 2048 * bucketWidth // fine: dimensionless bucket count scales the width
+	return t + span
+}
+
 // Allowed is a justified suppression.
 func Allowed(t sim.Time) sim.Time {
 	return t + 1 //simlint:allow(unitsafe) fixture: +1ps tie-break documented in the engine contract

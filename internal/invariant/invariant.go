@@ -33,6 +33,7 @@ const (
 	RulePSNOrder     = "psn-order"     // receiver delivered a non-contiguous PSN
 	RuleBlackhole    = "blackhole"     // bytes stranded on a failed link at end of run
 	RulePacketPool   = "packet-pool"   // packet free list leaked or double-freed a frame
+	RuleEventPool    = "event-pool"    // engine event free list leaked a pooled event struct
 )
 
 // Violation is one recorded invariant break.
@@ -225,6 +226,23 @@ func (c *Checker) PacketPool(at sim.Time, gets, puts, doublePuts uint64, live in
 	}
 	if live < 0 || gets != puts+uint64(live) {
 		c.Violatef(at, RulePacketPool, "pool gets %d != puts %d + live %d at end of run", gets, puts, live)
+	}
+}
+
+// EventPool audits the engine's event free list at end of run (strict tier):
+// every event struct handed out by the pool must either have been returned
+// (after firing or being skipped as a lazily cancelled dead event) or still
+// be queued in the scheduler. gets == puts + queued catches events dropped
+// on the floor by a scheduler implementation — the failure mode lazy
+// cancellation makes possible, since cancelled events now linger queued
+// until the run loop reclaims them.
+func (c *Checker) EventPool(at sim.Time, gets, puts uint64, queued int) {
+	if c == nil || !c.Strict {
+		return
+	}
+	c.checks++
+	if queued < 0 || gets != puts+uint64(queued) {
+		c.Violatef(at, RuleEventPool, "event pool gets %d != puts %d + queued %d at end of run", gets, puts, queued)
 	}
 }
 

@@ -172,3 +172,25 @@ func TestPacketPoolStrictOnly(t *testing.T) {
 	var nilc *Checker
 	nilc.PacketPool(10, 1, 0, 0, 0) // nil-receiver safe
 }
+
+func TestEventPoolConservation(t *testing.T) {
+	c := New(true)
+	c.EventPool(10, 100, 90, 10) // gets == puts + queued: clean
+	if !c.Ok() {
+		t.Fatalf("balanced event pool flagged: %s", c.Summary())
+	}
+	c.EventPool(20, 100, 90, 4) // 6 event structs leaked
+	if c.Total() != 1 || c.Violations()[0].Rule != RuleEventPool {
+		t.Fatalf("event leak not caught: %s", c.Summary())
+	}
+}
+
+func TestEventPoolStrictOnly(t *testing.T) {
+	c := New(false)
+	c.EventPool(10, 100, 0, 0) // grossly broken, but cheap tier skips it
+	if !c.Ok() {
+		t.Fatalf("cheap tier ran the event-pool audit: %s", c.Summary())
+	}
+	var nilc *Checker
+	nilc.EventPool(10, 1, 0, 0) // nil-receiver safe
+}

@@ -32,8 +32,10 @@ type event struct {
 	arg EventArg
 	fn  func()
 
-	// heap index, -1 when not queued; used for O(log n) cancellation.
-	index int
+	// dead marks a lazily cancelled event: Timer.Stop flips it in O(1) and
+	// the run loop returns the struct to the pool when the scheduler pops
+	// it, instead of paying for an arbitrary-position removal at Stop time.
+	dead bool
 }
 
 // Timer is a value handle to a scheduled event. The zero Timer is valid and
@@ -50,17 +52,19 @@ type Timer struct {
 // live reports whether the handle still refers to the queued event it was
 // created for.
 func (t Timer) live() bool {
-	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending.
 // Stopping a zero, already-fired, or already-stopped timer is a no-op.
+// Cancellation is lazy: the event stays queued, marked dead, and its struct
+// returns to the pool when the run loop skips over it.
 func (t Timer) Stop() bool {
 	if !t.live() {
 		return false
 	}
-	t.eng.q.remove(t.ev)
-	t.eng.release(t.ev)
+	t.ev.dead = true
+	t.eng.live--
 	return true
 }
 
@@ -77,25 +81,44 @@ func (t Timer) When() Time {
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is not
-// usable; create engines with NewEngine.
+// usable; create engines with NewEngine or NewEngineWith.
 type Engine struct {
 	now     Time
-	q       eventHeap
+	sched   scheduler
+	// cal devirtualizes the default scheduler: when non-nil it is the same
+	// object as sched, and the per-event push/pop sites call it directly
+	// instead of through the interface (two indirect calls per event add up
+	// at tens of millions of events per second).
+	cal     *calendarQueue
 	seq     uint64
 	stopped bool
 
+	// live counts queued events that have not been lazily cancelled; the
+	// scheduler's own length additionally includes dead events awaiting
+	// reclamation.
+	live int
+
 	// free is the event free list: fired and cancelled events return here and
 	// are reused by the next schedule, so the steady-state hot path performs
-	// zero heap allocations.
-	free []*event
+	// zero heap allocations. gets/puts count the traffic for the event-pool
+	// conservation audit: gets == puts + events still queued.
+	free       []*event
+	gets, puts uint64
 
 	// Executed counts events dispatched so far (for stats and runaway guards).
 	Executed uint64
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	return &Engine{q: eventHeap{items: make([]*event, 0, 1024)}}
+// NewEngine returns an engine with the clock at zero, using the default
+// calendar-queue scheduler.
+func NewEngine() *Engine { return NewEngineWith(SchedCalendar) }
+
+// NewEngineWith returns an engine with the clock at zero and the given
+// scheduler implementation behind it.
+func NewEngineWith(kind SchedulerKind) *Engine {
+	e := &Engine{sched: newScheduler(kind)}
+	e.cal, _ = e.sched.(*calendarQueue)
+	return e
 }
 
 // Now returns the current virtual time.
@@ -103,6 +126,7 @@ func (e *Engine) Now() Time { return e.now }
 
 // alloc takes an event from the free list, or grows the pool by one.
 func (e *Engine) alloc() *event {
+	e.gets++
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
@@ -116,10 +140,20 @@ func (e *Engine) alloc() *event {
 // so outstanding Timer handles go stale.
 func (e *Engine) release(ev *event) {
 	ev.gen++
+	ev.dead = false
 	ev.h = nil
 	ev.arg = EventArg{}
 	ev.fn = nil
+	e.puts++
 	e.free = append(e.free, ev)
+}
+
+// EventPoolStats reports the event free-list traffic and the number of event
+// structs still queued, live or dead. The conservation invariant audited by
+// internal/invariant is gets == puts + queued: every struct handed out was
+// either returned to the pool or is still in the scheduler.
+func (e *Engine) EventPoolStats() (gets, puts uint64, queued int) {
+	return e.gets, e.puts, e.sched.len()
 }
 
 // schedule inserts an event at absolute time t. Scheduling in the past
@@ -132,7 +166,12 @@ func (e *Engine) schedule(t Time) *event {
 	ev.at = t
 	ev.seq = e.seq
 	e.seq++
-	e.q.push(ev)
+	if e.cal != nil {
+		e.cal.push(ev, e.now)
+	} else {
+		e.sched.push(ev, e.now)
+	}
+	e.live++
 	return ev
 }
 
@@ -173,8 +212,9 @@ func (e *Engine) After(d Time, fn func()) Timer {
 // Stop halts the run loop after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.q.len() }
+// Pending returns the number of queued events, not counting lazily
+// cancelled ones still awaiting reclamation.
+func (e *Engine) Pending() int { return e.live }
 
 // Run executes events until the queue is empty or Stop is called. It returns
 // the final virtual time.
@@ -186,15 +226,22 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.q.peek()
+		var ev *event
+		if e.cal != nil {
+			ev = e.cal.popLE(limit)
+		} else {
+			ev = e.sched.popLE(limit)
+		}
 		if ev == nil {
 			break
 		}
-		if ev.at > limit {
-			e.now = limit
-			return e.now
+		if ev.dead {
+			// Lazily cancelled: reclaim the struct without touching the
+			// clock — a cancelled event must leave no trace in the run.
+			e.release(ev)
+			continue
 		}
-		e.q.pop()
+		e.live--
 		e.now = ev.at
 		// Free the slot before dispatching: the handler may immediately
 		// schedule again and reuse it, and its own Timer handle (now stale by

@@ -1,96 +1,83 @@
 package sim
 
-// eventHeap is a binary min-heap of events ordered by (at, seq). A hand-rolled
-// heap (rather than container/heap) avoids interface boxing on the hot path:
-// a busy simulation pushes and pops millions of events.
-type eventHeap struct {
-	items []*event
-}
-
-func (h *eventHeap) len() int { return len(h.items) }
-
-func (h *eventHeap) less(a, b *event) bool {
+// eventBefore is the total order every scheduler must respect: earlier time
+// first, and FIFO (scheduling order) among events at the same instant.
+func eventBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (h *eventHeap) push(ev *event) {
-	ev.index = len(h.items)
-	h.items = append(h.items, ev)
-	h.up(ev.index)
+// heapPush and heapPop maintain a binary min-heap over a plain event slice.
+// Hand-rolled (rather than container/heap) to avoid interface boxing on the
+// hot path, and shared between the standalone eventHeap and the calendar
+// queue's per-bucket mini-heaps and overflow heap.
+func heapPush(items []*event, ev *event) []*event {
+	items = append(items, ev)
+	siftUp(items, len(items)-1)
+	return items
 }
 
-func (h *eventHeap) peek() *event {
-	if len(h.items) == 0 {
-		return nil
-	}
-	return h.items[0]
-}
-
-func (h *eventHeap) pop() *event {
-	ev := h.items[0]
-	last := len(h.items) - 1
-	h.swap(0, last)
-	h.items[last] = nil
-	h.items = h.items[:last]
+func heapPop(items []*event) ([]*event, *event) {
+	ev := items[0]
+	last := len(items) - 1
+	items[0] = items[last]
+	items[last] = nil
+	items = items[:last]
 	if last > 0 {
-		h.down(0)
+		siftDown(items, 0)
 	}
-	ev.index = -1
-	return ev
+	return items, ev
 }
 
-// remove deletes an arbitrary queued event (for Timer.Stop).
-func (h *eventHeap) remove(ev *event) {
-	i := ev.index
-	if i < 0 || i >= len(h.items) || h.items[i] != ev {
-		return
-	}
-	last := len(h.items) - 1
-	h.swap(i, last)
-	h.items[last] = nil
-	h.items = h.items[:last]
-	if i < last {
-		h.down(i)
-		h.up(i)
-	}
-	ev.index = -1
-}
-
-func (h *eventHeap) swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.items[i].index = i
-	h.items[j].index = j
-}
-
-func (h *eventHeap) up(i int) {
+func siftUp(items []*event, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.items[i], h.items[parent]) {
-			break
+		if !eventBefore(items[i], items[parent]) {
+			return
 		}
-		h.swap(i, parent)
+		items[i], items[parent] = items[parent], items[i]
 		i = parent
 	}
 }
 
-func (h *eventHeap) down(i int) {
-	n := len(h.items)
+func siftDown(items []*event, i int) {
+	n := len(items)
 	for {
 		left := 2*i + 1
 		if left >= n {
 			return
 		}
 		smallest := left
-		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+		if right := left + 1; right < n && eventBefore(items[right], items[left]) {
 			smallest = right
 		}
-		if !h.less(h.items[smallest], h.items[i]) {
+		if !eventBefore(items[smallest], items[i]) {
 			return
 		}
-		h.swap(i, smallest)
+		items[i], items[smallest] = items[smallest], items[i]
 		i = smallest
 	}
+}
+
+// eventHeap is the reference scheduler: a single binary min-heap. Lazy
+// cancellation removed the only need for arbitrary deletion, so there is no
+// per-event index bookkeeping — cancelled events stay queued, marked dead,
+// and are skipped at pop.
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) push(ev *event, _ Time) { h.items = heapPush(h.items, ev) }
+
+func (h *eventHeap) popLE(limit Time) *event {
+	if len(h.items) == 0 || h.items[0].at > limit {
+		return nil
+	}
+	var ev *event
+	h.items, ev = heapPop(h.items)
+	return ev
 }

@@ -83,12 +83,26 @@ func TestStopReturnsEventToPool(t *testing.T) {
 	if !tm.Stop() {
 		t.Fatal("Stop on pending timer reported false")
 	}
-	tm2 := e.At(20, func() {})
-	if tm2.ev != ev {
-		t.Error("stopped event was not pooled for reuse")
-	}
 	if tm.Stop() {
 		t.Error("double Stop reported true")
+	}
+	// Cancellation is lazy: the dead event stays queued until the run loop
+	// skips it, and only then does its struct return to the free list.
+	gets, puts, queued := e.EventPoolStats()
+	if queued != 1 || gets != puts+1 {
+		t.Fatalf("before reclamation: gets=%d puts=%d queued=%d, want 1 outstanding", gets, puts, queued)
+	}
+	e.Run()
+	gets, puts, queued = e.EventPoolStats()
+	if queued != 0 || gets != puts {
+		t.Fatalf("after reclamation: gets=%d puts=%d queued=%d, want conservation", gets, puts, queued)
+	}
+	if e.Now() != 0 {
+		t.Errorf("skipping a dead event advanced the clock to %v, want 0", e.Now())
+	}
+	tm2 := e.At(20, func() {})
+	if tm2.ev != ev {
+		t.Error("reclaimed event was not pooled for reuse")
 	}
 	tm2.Stop()
 }
@@ -242,8 +256,9 @@ func TestEngineDispatchZeroAlloc(t *testing.T) {
 func BenchmarkEngineDispatchTyped(b *testing.B) {
 	e := NewEngine()
 	var h nopHandler
-	// Reach steady state first: grow the heap's backing array and the event
-	// free list to their working size so the loop measures pure dispatch.
+	// Reach steady state first: grow the scheduler's backing arrays and the
+	// event free list to their working size so the loop measures pure
+	// dispatch.
 	for i := 0; i < 10001; i++ {
 		e.ScheduleAfter(Time(i%1000), h, EventArg{U64: uint64(i)})
 	}

@@ -177,8 +177,8 @@ func (n *Network) WireLost() uint64 {
 
 // AuditInvariants runs the end-of-run checks on every switch: shared-pool
 // conservation and blackholed bytes stranded behind failed links, plus (in
-// strict mode) packet-pool conservation across the whole fabric. A no-op
-// when no checker is attached.
+// strict mode) packet-pool and event-pool conservation across the whole
+// fabric. A no-op when no checker is attached.
 func (n *Network) AuditInvariants() {
 	for _, sw := range n.Leaves {
 		sw.AuditInvariants()
@@ -187,6 +187,18 @@ func (n *Network) AuditInvariants() {
 		sw.AuditInvariants()
 	}
 	n.auditPacketPool()
+	n.auditEventPool()
+}
+
+// auditEventPool verifies engine event free-list conservation: every pooled
+// event struct handed out was returned — after firing, or at skip time for
+// lazily cancelled dead events — or is still queued in the scheduler.
+func (n *Network) auditEventPool() {
+	if n.P.Checker == nil || !n.P.Checker.Strict {
+		return
+	}
+	gets, puts, queued := n.Eng.EventPoolStats()
+	n.P.Checker.EventPool(n.Eng.Now(), gets, puts, queued)
 }
 
 // auditPacketPool verifies packet free-list conservation: every frame taken

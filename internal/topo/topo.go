@@ -60,6 +60,11 @@ type Params struct {
 	// internal/invariant). The harness attaches one per simulation.
 	Checker *invariant.Checker
 
+	// Scheduler selects the engine's event-queue implementation; the zero
+	// value is the default calendar queue. SchedHeap keeps the reference
+	// binary heap for A/B debugging (rlbsim -sched).
+	Scheduler sim.SchedulerKind
+
 	Seed uint64
 }
 
@@ -127,7 +132,7 @@ func Build(p Params) *Network {
 	if p.LB == nil {
 		p.LB = lb.NewECMP()
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineWith(p.Scheduler)
 	n := &Network{Eng: eng, P: p, rng: rng.New(p.Seed ^ 0xA5A5), pool: fabric.NewPool()}
 	n.linkUp = make([]bool, p.Leaves*p.Spines)
 	for i := range n.linkUp {

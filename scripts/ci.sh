@@ -31,4 +31,13 @@ echo "==> full suite (perf smoke + tests + golden figures)"
 make bench-smoke
 "$GO" test ./...
 
+# Opt-in perf regression gate: events/sec vs the committed BENCH_PR4.json
+# (±10%). Wall-clock sensitive — only meaningful on a quiet machine that
+# matches the one the committed record was captured on, so it is off unless
+# RLB_BENCH_GATE=1.
+if [ "${RLB_BENCH_GATE:-0}" = "1" ]; then
+	echo "==> bench gate (events/sec vs BENCH_PR4.json)"
+	make bench-gate
+fi
+
 echo "==> ci passed"
