@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-short vet lint simlint golden bench bench-smoke bench-json bench-gate clean ci
+.PHONY: all build test short race race-short vet lint simlint golden bench bench-smoke bench-json bench-gate fuzz-smoke fuzz cover clean ci
 
 all: build lint test
 
@@ -39,6 +39,26 @@ bench-json:
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . \
 	| $(GO) run ./cmd/benchjson -gate BENCH_PR4.json -tolerance 10
+
+# Fuzz tier (see TESTING.md "Fuzz tier"): the deterministic metamorphic
+# sweep (50 generated scenarios, every property checked, failures shrunk
+# into repro files) plus the seeded-breach meta-test proving the pipeline
+# catches real bugs, then a time-boxed run of the mutating fuzzer over the
+# committed corpus. Scenario failures write repro files replayable with
+# `rlbsim -repro <file>` (set RLB_REPRO_DIR to choose where).
+fuzz-smoke:
+	$(GO) test -run 'TestMetamorphicSweep|TestSeededBreachIsCaughtAndShrunk' -count=1 ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime 20s ./internal/scenario/
+
+# Open-ended fuzzing session: run until interrupted or a failure is found.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzScenario ./internal/scenario/
+
+# Coverage over the simulator internals (the golden-figure runs at the repo
+# root dominate runtime and add little line coverage, so internal/... only).
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Quick iteration loop: skips the bench-scale golden run.
 short:

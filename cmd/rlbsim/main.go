@@ -7,6 +7,7 @@
 //	rlbsim -scheme drill+rlb -workload datamining -load 0.4 -asym
 //	rlbsim -scheme presto+rlb -leaves 4 -spines 6 -hosts 6 -duration 10ms
 //	rlbsim -scheme ecmp -kill 2 -kill-at 1ms -restore-at 3ms -strict
+//	rlbsim -repro /tmp/rlb-repro-flows-complete.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"github.com/rlb-project/rlb/internal/core"
 	"github.com/rlb-project/rlb/internal/harness"
 	"github.com/rlb-project/rlb/internal/metrics"
+	"github.com/rlb-project/rlb/internal/scenario"
 	"github.com/rlb-project/rlb/internal/sim"
 	"github.com/rlb-project/rlb/internal/topo"
 	"github.com/rlb-project/rlb/internal/trace"
@@ -50,9 +52,14 @@ func main() {
 	restoreAt := flag.Duration("restore-at", 0, "fault plane: when to restore them (0 = never)")
 	strict := flag.Bool("strict", false, "enable the strict invariant-checker tier")
 	sched := flag.String("sched", "calendar", "event scheduler: calendar|heap (heap is the reference implementation, for A/B debugging)")
+	repro := flag.String("repro", "", "replay a scenario-fuzzer repro file (ignores the other flags; exit 1 if it still fails)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *repro != "" {
+		os.Exit(runRepro(*repro))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -202,4 +209,25 @@ func main() {
 		fmt.Printf("last %d control-plane events:\n", buf.Len())
 		_ = buf.Dump(os.Stdout)
 	}
+}
+
+// runRepro replays a scenario-fuzzer repro file through the full metamorphic
+// property suite and reports whether the recorded failure still reproduces.
+// Exit codes: 0 = fixed (no property fails any more), 1 = still failing,
+// 2 = unreadable file.
+func runRepro(path string) int {
+	r, fail, err := scenario.Replay(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlbsim:", err)
+		return 2
+	}
+	fmt.Printf("repro:    %s\n", path)
+	fmt.Printf("recorded: %s: %s\n", r.Property, r.Detail)
+	fmt.Printf("scenario: %s\n", r.Spec.Params())
+	if fail == nil {
+		fmt.Println("verdict:  PASS — the recorded failure no longer reproduces")
+		return 0
+	}
+	fmt.Printf("verdict:  FAIL — %s: %s\n", fail.Property, fail.Detail)
+	return 1
 }

@@ -12,15 +12,16 @@ import (
 var simPackages = []string{
 	"internal/sim", "internal/fabric", "internal/switchsim", "internal/transport",
 	"internal/dcqcn", "internal/core", "internal/lb", "internal/topo",
-	"internal/workload", "internal/harness",
+	"internal/workload", "internal/harness", "internal/scenario",
 }
 
 // concurrencyAllowed are packages exempt from the goroutine/select rule:
-// internal/harness fans independent simulations out to worker goroutines.
+// internal/harness fans independent simulations out to worker goroutines,
+// and internal/scenario fans independent scenario checks out the same way.
 // Each worker owns a disjoint engine, RNG stream, and network, so worker
 // scheduling cannot reach any single simulation's event order (the
-// worker-isolation contract documented at the `go func` sites in harness).
-var concurrencyAllowed = []string{"internal/harness"}
+// worker-isolation contract documented at the `go func` sites in both).
+var concurrencyAllowed = []string{"internal/harness", "internal/scenario"}
 
 // wallClockFuncs are time-package functions that read or depend on the wall
 // clock. Simulations must use sim.Time from the engine instead.

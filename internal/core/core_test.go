@@ -7,7 +7,6 @@ import (
 	"github.com/rlb-project/rlb/internal/lb"
 	"github.com/rlb-project/rlb/internal/rng"
 	"github.com/rlb-project/rlb/internal/sim"
-	"github.com/rlb-project/rlb/internal/units"
 )
 
 // fakeView is a scriptable lb.View.
@@ -60,38 +59,8 @@ func seq(n int) []int {
 // (flow state in the agent is per-flow, and a real flow has one destination).
 func pkt(dst int) *fabric.Packet { return fabric.NewData(uint32(dst), 0, 1000, 0, dst) }
 
-func TestWarningThresholdRange(t *testing.T) {
-	lo, hi := WarningThresholdRange(2*sim.Microsecond, 40*units.Gbps, 256*1000, 2)
-	if lo != 10000 {
-		t.Fatalf("lo = %d, want 10000 (d*C)", lo)
-	}
-	if hi != 246000 {
-		t.Fatalf("hi = %d, want 246000 (QPFC - d*C*(n-1))", hi)
-	}
-	// More incast senders shrink the upper bound.
-	_, hi8 := WarningThresholdRange(2*sim.Microsecond, 40*units.Gbps, 256*1000, 8)
-	if hi8 >= hi {
-		t.Fatalf("hi with n=8 (%d) should be below n=2 (%d)", hi8, hi)
-	}
-}
-
-func TestQthClampedToRange(t *testing.T) {
-	p := Params{QthFraction: 0.01}.Normalize(2 * sim.Microsecond)
-	q := p.Qth(256*1000, 2*sim.Microsecond, 40*units.Gbps)
-	if q < 10000 {
-		t.Fatalf("Qth %d below conservative floor", q)
-	}
-	p.QthFraction = 0.999
-	q = p.Qth(256*1000, 2*sim.Microsecond, 40*units.Gbps)
-	if q >= 246000 {
-		t.Fatalf("Qth %d above conservative ceiling", q)
-	}
-	p.QthFraction = 0.3
-	q = p.Qth(256*1000, 2*sim.Microsecond, 40*units.Gbps)
-	if q != 76800 {
-		t.Fatalf("Qth = %d, want 76800 (30%% of 256KB)", q)
-	}
-}
+// The Qth range and clamping spot checks formerly here grew into the
+// table-driven boundary suite in qth_table_test.go.
 
 func TestNormalizeFillsDefaults(t *testing.T) {
 	p := Params{}.Normalize(2 * sim.Microsecond)

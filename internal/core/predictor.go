@@ -119,32 +119,56 @@ func (p *Predictor) sample() {
 		// warnings; high Qth ⇒ late warnings (the Fig. 10(a) trade-off).
 		// An already-active pause keeps the warning refreshed for as long
 		// as the upstream is being paused.
-		warn := false
-		switch {
-		case p.params.DisableDerivative:
-			// Static ablation: threshold only, growth ignored.
-			if q >= p.qth {
-				warn = true
-				p.Stats.Static++
-			}
-		case q < p.qth:
-			// Below the congestion-activation threshold: no prediction.
-		case p.sw.PauseActive(port):
-			warn = true
+		warn := predictWarn(q, deriv, qPFC, p.qth, p.params.DeltaT, p.warnTime,
+			p.sw.PauseActive(port), p.params.DisableDerivative)
+		switch warn {
+		case warnStatic:
 			p.Stats.Static++
-		case deriv > 0:
-			// remaining = (qPFC - q)/deriv * Δt  <=  T(qth)
-			remaining := int64(qPFC-q) * int64(p.params.DeltaT) / int64(deriv)
-			if remaining <= int64(p.warnTime) {
-				warn = true
-				p.Stats.Predicted++
-			}
+		case warnPredicted:
+			p.Stats.Predicted++
 		}
-		if warn && now-p.lastWarn[port] >= p.params.ReWarnInterval {
+		if warn != warnNone && now-p.lastWarn[port] >= p.params.ReWarnInterval {
 			p.lastWarn[port] = now
 			p.sendCNM(port)
 		}
 	}
+}
+
+// warnCause classifies one sample's warn decision.
+type warnCause int
+
+const (
+	warnNone      warnCause = iota
+	warnStatic              // threshold term: static ablation hit, or active-pause refresh
+	warnPredicted           // derivative term: PFC predicted within the warning window
+)
+
+// predictWarn is the §3.2.1 per-port warn decision, extracted pure so the
+// boundary cases are table-testable: q is the sampled ingress-queue length,
+// deriv its growth in bytes per deltaT, qPFC the port's current (dynamic)
+// PFC threshold, qth the effective warning threshold, warnTime the
+// remaining-time threshold T = (QPFC − Qth)/C scaled for fan-in, paused
+// whether the port is already pausing its upstream, and staticOnly the
+// DisableDerivative ablation.
+func predictWarn(q, deriv, qPFC, qth int, deltaT, warnTime sim.Time, paused, staticOnly bool) warnCause {
+	switch {
+	case staticOnly:
+		// Static ablation: threshold only, growth ignored.
+		if q >= qth {
+			return warnStatic
+		}
+	case q < qth:
+		// Below the congestion-activation threshold: no prediction.
+	case paused:
+		return warnStatic
+	case deriv > 0:
+		// remaining = (qPFC - q)/deriv * Δt  <=  T(qth)
+		remaining := int64(qPFC-q) * int64(deltaT) / int64(deriv)
+		if remaining <= int64(warnTime) {
+			return warnPredicted
+		}
+	}
+	return warnNone
 }
 
 // sendCNM emits the PFC warning out of the endangered ingress port, i.e.

@@ -19,8 +19,18 @@ type PoolStats struct {
 // delivery, MMU drop, and wire loss. A nil *Pool is valid and degrades to
 // plain allocation, so unit tests that build packets directly pay nothing.
 type Pool struct {
-	free  []*Packet
-	stats PoolStats
+	// LeakEvery, when positive, silently discards every LeakEvery-th
+	// returned frame instead of pooling it — neither the Puts counter nor
+	// the free list sees it, exactly what a missing Release looks like.
+	// This is deliberate fault injection: the scenario fuzzer's meta-test
+	// (internal/scenario) seeds a leak through it and asserts the strict
+	// packet-pool conservation invariant (gets == puts + live) catches and
+	// shrinks the breach. Always zero outside that test.
+	LeakEvery int
+
+	free     []*Packet
+	stats    PoolStats
+	putCalls uint64
 }
 
 // NewPool returns an empty packet pool.
@@ -76,6 +86,11 @@ func (pl *Pool) put(p *Packet) {
 	if p.inPool {
 		pl.stats.DoublePuts++
 		return
+	}
+	if pl.LeakEvery > 0 {
+		if pl.putCalls++; pl.putCalls%uint64(pl.LeakEvery) == 0 {
+			return // injected leak: frame dropped on the floor, uncounted
+		}
 	}
 	p.inPool = true
 	pl.stats.Puts++

@@ -152,3 +152,29 @@ func BenchmarkPortPingPong(b *testing.B) {
 		b.Fatal("no traffic flowed")
 	}
 }
+
+func TestLeakEveryBreaksConservation(t *testing.T) {
+	// The fault-injection knob must produce exactly the imbalance the strict
+	// packet-pool invariant looks for: gets != puts + live, with no frame in
+	// the free list to show for the missing put.
+	pl := NewPool()
+	pl.LeakEvery = 3
+	for i := 0; i < 9; i++ {
+		Release(pl.Data(1, uint32(i), 1000, 0, 1))
+	}
+	st := pl.Stats()
+	if st.Gets != 9 || st.Puts != 6 {
+		t.Fatalf("gets=%d puts=%d, want 9 gets and 6 puts (3 leaked)", st.Gets, st.Puts)
+	}
+	if st.Gets == st.Puts {
+		t.Fatal("leak injection did not unbalance the pool")
+	}
+	// Off by default: a zero knob conserves every frame.
+	clean := NewPool()
+	for i := 0; i < 9; i++ {
+		Release(clean.Data(1, uint32(i), 1000, 0, 1))
+	}
+	if st := clean.Stats(); st.Gets != st.Puts {
+		t.Fatalf("clean pool unbalanced: %+v", st)
+	}
+}

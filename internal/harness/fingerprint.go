@@ -1,0 +1,21 @@
+package harness
+
+import "fmt"
+
+// Fingerprint reduces a Result to a string that any nondeterminism in the
+// simulation would perturb: aggregate counters, agent decisions, and — when
+// the network was retained via RunConfig.KeepNetwork — every flow's finish
+// time. Two runs of the same config and seed must produce identical
+// fingerprints; the determinism property tests and the scenario fuzzer's
+// metamorphic runner (internal/scenario) both compare runs through it.
+func Fingerprint(r *Result) string {
+	s := fmt.Sprintf("flows=%d done=%d sent=%d rcvd=%d ooo=%d pauses=%d recircs=%d drops=%d agents=%+v",
+		r.Report.Flows, r.Report.Completed, r.Report.TotalSent, r.Report.TotalRcvd,
+		r.Report.TotalOOO, r.Pauses, r.Recircs, r.Drops, r.Agents)
+	if r.Network != nil {
+		for _, f := range r.Network.Flows {
+			s += fmt.Sprintf("|%d@%d", f.ID, f.FinishAt)
+		}
+	}
+	return s
+}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,7 +50,12 @@ type RunConfig struct {
 	// (per-mutation shared-pool conservation audits, per-flow PSN delivery
 	// tracking) on top of the always-on cheap assertions.
 	StrictInvariants bool
-	Seed             uint64
+	// Context, when non-empty, labels every invariant violation this run
+	// records so a failure in a log is reproducible from the message alone.
+	// Empty means Run composes one from the config (seed, fabric, workload,
+	// load, fault count); scenario generators pass their full parameter set.
+	Context string
+	Seed    uint64
 }
 
 // Result captures one simulation's outcome.
@@ -84,6 +90,21 @@ func (r *Result) PauseRatePerMs() float64 {
 	return metrics.PauseRate(r.Pauses, r.SimTime)
 }
 
+// runContext is the violation label for this run: the explicit Context when
+// one was provided, otherwise the reproduction essentials from the config.
+func (cfg *RunConfig) runContext() string {
+	if cfg.Context != "" {
+		return cfg.Context
+	}
+	wl := "none"
+	if cfg.Workload != nil {
+		wl = cfg.Workload.Name
+	}
+	return fmt.Sprintf("seed=%d fabric=%dx%d/%d wl=%s load=%.2f faults=%d",
+		cfg.Seed, cfg.Topo.Leaves, cfg.Topo.Spines, cfg.Topo.HostsPerLeaf,
+		wl, cfg.Load, len(cfg.Faults))
+}
+
 // Run executes one simulation to completion.
 func Run(cfg RunConfig) *Result {
 	//simlint:allow(determinism) wall-clock feeds only the Wall perf counter, never simulation state
@@ -94,6 +115,7 @@ func Run(cfg RunConfig) *Result {
 		checker = invariant.New(cfg.StrictInvariants)
 		cfg.Topo.Checker = checker
 	}
+	checker.SetContext(cfg.runContext())
 	n := topo.Build(cfg.Topo)
 	n.ScheduleFaults(cfg.Faults)
 

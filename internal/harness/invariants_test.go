@@ -1,7 +1,7 @@
 package harness
 
 import (
-	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/rlb-project/rlb/internal/workload"
@@ -17,20 +17,9 @@ func poissonCfg(scheme string, seed uint64) RunConfig {
 	}
 }
 
-// fingerprint reduces a Result to a string that any nondeterminism would
-// perturb: aggregate counters, agent decisions, and every flow's finish time
-// (when the network was kept).
-func fingerprint(r *Result) string {
-	s := fmt.Sprintf("flows=%d done=%d sent=%d rcvd=%d ooo=%d pauses=%d recircs=%d drops=%d agents=%+v",
-		r.Report.Flows, r.Report.Completed, r.Report.TotalSent, r.Report.TotalRcvd,
-		r.Report.TotalOOO, r.Pauses, r.Recircs, r.Drops, r.Agents)
-	if r.Network != nil {
-		for _, f := range r.Network.Flows {
-			s += fmt.Sprintf("|%d@%d", f.ID, f.FinishAt)
-		}
-	}
-	return s
-}
+// fingerprint is the exported Fingerprint (fingerprint.go), kept as a local
+// alias so the property tests below read naturally.
+func fingerprint(r *Result) string { return Fingerprint(r) }
 
 func TestNetworkNotRetainedByDefault(t *testing.T) {
 	res := Run(poissonCfg("ecmp", 1))
@@ -109,6 +98,38 @@ func TestStrictInvariantsCleanAcrossSchemes(t *testing.T) {
 		if len(res.Violations) != 0 {
 			t.Errorf("%s: %d violations, e.g. %v", schemes[i], len(res.Violations), res.Violations[0])
 		}
+	}
+}
+
+func TestViolationsCarryRunContext(t *testing.T) {
+	// Every violation must be reproducible from the log alone: the recorded
+	// message carries the run's seed and scenario parameters. A permanent
+	// ECMP blackhole reliably produces violations to inspect.
+	cfg := poissonCfg("ecmp", 21)
+	cfg.Faults = KillUplinks(0, 1, testScale.Duration/4, 0)
+	res := Run(cfg)
+	if len(res.Violations) == 0 {
+		t.Fatal("blackhole scenario recorded no violations")
+	}
+	for _, v := range res.Violations {
+		if !strings.Contains(v.Ctx, "seed=21") || !strings.Contains(v.Ctx, "fabric=2x2/3") {
+			t.Fatalf("violation context missing run identity: %q", v.String())
+		}
+		if !strings.Contains(v.String(), v.Ctx) {
+			t.Fatalf("String() omits the context: %q", v.String())
+		}
+	}
+	// An explicit Context (e.g. the scenario fuzzer's generator parameters)
+	// replaces the composed default verbatim.
+	cfg = poissonCfg("ecmp", 21)
+	cfg.Faults = KillUplinks(0, 1, testScale.Duration/4, 0)
+	cfg.Context = "scenario gen-seed=99 custom"
+	res = Run(cfg)
+	if len(res.Violations) == 0 {
+		t.Fatal("blackhole scenario recorded no violations with explicit context")
+	}
+	if got := res.Violations[0].Ctx; got != "scenario gen-seed=99 custom" {
+		t.Fatalf("explicit context not used: %q", got)
 	}
 }
 

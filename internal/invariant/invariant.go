@@ -41,11 +41,20 @@ type Violation struct {
 	At     sim.Time
 	Rule   string
 	Detail string
+	// Ctx identifies the run that produced the violation — the simulation
+	// seed and scenario parameters — so a failure pasted from a log is
+	// reproducible without the surrounding harness state (the harness sets
+	// it on every run; see RunConfig.Context).
+	Ctx string
 }
 
-// String formats the violation on one line.
+// String formats the violation on one line, including the run context when
+// one was attached.
 func (v Violation) String() string {
-	return fmt.Sprintf("[%v] %s: %s", v.At, v.Rule, v.Detail)
+	if v.Ctx == "" {
+		return fmt.Sprintf("[%v] %s: %s", v.At, v.Rule, v.Detail)
+	}
+	return fmt.Sprintf("[%v] %s: %s (%s)", v.At, v.Rule, v.Detail, v.Ctx)
 }
 
 // maxRecorded caps stored violations; the total count keeps climbing so a
@@ -62,6 +71,7 @@ type Checker struct {
 	violations []Violation
 	total      uint64
 	checks     uint64
+	ctx        string
 
 	lastEventAt sim.Time
 
@@ -79,6 +89,16 @@ func New(strict bool) *Checker {
 	return c
 }
 
+// SetContext labels every subsequently recorded violation with the run's
+// identity (seed, fabric, workload, faults — whatever reproduces it). The
+// harness sets it on every run so a violation in a log is self-describing.
+func (c *Checker) SetContext(ctx string) {
+	if c == nil {
+		return
+	}
+	c.ctx = ctx
+}
+
 // Violatef records one violation.
 func (c *Checker) Violatef(at sim.Time, rule, format string, args ...interface{}) {
 	if c == nil {
@@ -86,7 +106,7 @@ func (c *Checker) Violatef(at sim.Time, rule, format string, args ...interface{}
 	}
 	c.total++
 	if len(c.violations) < maxRecorded {
-		c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+		c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...), Ctx: c.ctx})
 	}
 }
 

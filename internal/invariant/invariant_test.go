@@ -194,3 +194,25 @@ func TestEventPoolStrictOnly(t *testing.T) {
 	var nilc *Checker
 	nilc.EventPool(10, 1, 0, 0) // nil-receiver safe
 }
+
+func TestContextLabelsViolations(t *testing.T) {
+	c := New(false)
+	c.SetContext("seed=7 fabric=2x2/3")
+	c.Violatef(5, RulePoolBounds, "pool %d out of range", -1)
+	v := c.Violations()[0]
+	if v.Ctx != "seed=7 fabric=2x2/3" {
+		t.Fatalf("Ctx = %q", v.Ctx)
+	}
+	if got := v.String(); !strings.Contains(got, "(seed=7 fabric=2x2/3)") {
+		t.Fatalf("String() omits context: %q", got)
+	}
+	// Context applies to violations recorded after it was set; without one
+	// the format stays unchanged.
+	bare := New(false)
+	bare.Violatef(5, RulePoolBounds, "x")
+	if got := bare.Violations()[0].String(); strings.Contains(got, "()") {
+		t.Fatalf("empty context rendered: %q", got)
+	}
+	var nilc *Checker
+	nilc.SetContext("ignored") // nil-receiver safe
+}

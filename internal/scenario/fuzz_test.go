@@ -1,0 +1,25 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenario decodes the fuzzer's byte stream into a generator draw (see
+// byteStream: every input, however mangled, decodes to an in-envelope spec)
+// and runs the full metamorphic property suite on it. A failure is shrunk
+// and written as a repro file replayable via `rlbsim -repro`.
+//
+// The committed corpus lives in testdata/fuzz/FuzzScenario; these entries
+// (plus f.Add below) also run as plain unit tests on every `go test`.
+// `make fuzz-smoke` runs the mutating fuzzer for a bounded time.
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("scenario fuzzing seed: faults, incast, asymmetry"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if fail := Check(DecodeBytes(data)); fail != nil {
+			t.Errorf("%s", shrinkAndReport(t, fail))
+		}
+	})
+}

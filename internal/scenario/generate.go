@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"encoding/binary"
+
+	"github.com/rlb-project/rlb/internal/rng"
+)
+
+// entropy is the generator's randomness source. Seeded generation draws from
+// an rng.Source; fuzz-decoded generation draws from a byteStream over the
+// corpus bytes. Funneling both through the same generate() keeps every
+// fuzz-mutated spec inside the generator's calibrated envelope, so the
+// property suite never fails on an impossible scenario (a kill window that
+// is never restored, a drain too short for completion) instead of a real bug.
+type entropy interface {
+	Uint64() uint64
+}
+
+// byteStream yields 64-bit words from fuzz corpus bytes, little-endian. When
+// the corpus is exhausted it extends deterministically from the last state
+// with a splitmix64 step, so any byte slice — including the empty one —
+// decodes to a complete spec and byte mutations near the front perturb every
+// later draw.
+type byteStream struct {
+	data []byte
+	pos  int
+	last uint64
+}
+
+func (b *byteStream) Uint64() uint64 {
+	if b.pos+8 <= len(b.data) {
+		b.last = binary.LittleEndian.Uint64(b.data[b.pos:])
+		b.pos += 8
+		return b.last
+	}
+	for b.pos < len(b.data) {
+		b.last = b.last<<8 | uint64(b.data[b.pos])
+		b.pos++
+	}
+	// splitmix64 finalizer over a golden-ratio increment.
+	b.last += 0x9e3779b97f4a7c15
+	z := b.last
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn draws a uniform value in [0, n).
+func intn(e entropy, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(e.Uint64() % uint64(n))
+}
+
+// between draws a uniform value in [lo, hi] (inclusive).
+func between(e entropy, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + intn(e, hi-lo+1)
+}
+
+// chance is true pct percent of the time.
+func chance(e entropy, pct int) bool { return intn(e, 100) < pct }
+
+// genSchemes is every harness scheme the generator samples: the paper's six
+// base load balancers, each with and without RLB.
+var genSchemes = []string{
+	"ecmp", "presto", "letflow", "hermes", "drill", "conga",
+	"ecmp+rlb", "presto+rlb", "letflow+rlb", "hermes+rlb", "drill+rlb", "conga+rlb",
+}
+
+// genWorkloads are the four empirical flow-size CDFs from the paper's §4.1.
+var genWorkloads = []string{"webserver", "cachefollower", "websearch", "datamining"}
+
+// genLinkGbps are the sampled symmetric link rates.
+var genLinkGbps = []int{10, 25, 40}
+
+// Generate derives a complete scenario from one seed: same seed, same spec,
+// on any platform.
+func Generate(seed uint64) Spec {
+	s := generate(rng.New(seed))
+	s.GenSeed = seed
+	return s
+}
+
+// DecodeBytes interprets fuzz corpus bytes as the generator's entropy stream
+// and returns the (normalized) spec they draw.
+func DecodeBytes(data []byte) Spec {
+	return generate(&byteStream{data: data})
+}
+
+// generate draws one scenario from the entropy stream. Draw order is part of
+// the corpus format: reordering draws invalidates committed fuzz inputs
+// (they still decode, just to different scenarios), so append new draws at
+// the end. All ranges stay within Normalize's envelope; the trailing
+// Normalize is belt-and-braces plus the fault-window repairs.
+func generate(e entropy) Spec {
+	s := Spec{
+		SimSeed:      e.Uint64(),
+		Leaves:       between(e, 2, 3),
+		Spines:       between(e, 2, 4),
+		HostsPerLeaf: between(e, 2, 3),
+		LinkGbps:     genLinkGbps[intn(e, len(genLinkGbps))],
+		Scheme:       genSchemes[intn(e, len(genSchemes))],
+		Workload:     genWorkloads[intn(e, len(genWorkloads))],
+		LoadPct:      between(e, 10, 40),
+		MaxFlowKB:    between(e, 50, 400),
+		DurationUs:   between(e, 200, 500),
+	}
+	extraDrainUs := between(e, 0, 1000)
+	if chance(e, 25) {
+		s.AsymPct = between(e, 10, 30)
+	}
+	if hosts := s.Leaves * s.HostsPerLeaf; chance(e, 30) && hosts >= 3 {
+		s.IncastDegree = between(e, 2, minInt(6, hosts-1))
+		s.IncastKB = between(e, 16, 64)
+		s.IncastAtUs = between(e, s.DurationUs/4, s.DurationUs/2)
+		s.IncastClient = intn(e, hosts)
+	}
+	for i, n := 0, intn(e, 3); i < n; i++ {
+		f := FaultSpec{
+			Leaf:     intn(e, s.Leaves),
+			Spine:    intn(e, s.Spines),
+			DownAtUs: between(e, s.DurationUs/8, s.DurationUs/2),
+		}
+		f.UpAtUs = between(e, f.DownAtUs+s.DurationUs/8, s.DurationUs)
+		if chance(e, 30) {
+			f.RateDiv = 4 // degrade window instead of a kill window
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	// Normalize derives the drain floor from the clamped spec; the extra
+	// drawn above rides on top (a floored spec plus slack is still a
+	// Normalize fixpoint, since the floor only raises).
+	s = s.Normalize()
+	s.DrainUs += extraDrainUs
+	return s
+}

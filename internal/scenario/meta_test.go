@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/invariant"
+)
+
+// TestSeededBreachIsCaughtAndShrunk proves the fuzz tier detects real bugs,
+// the same way TestTreeIsLintClean's fixtures prove simlint does: seed a
+// deliberate invariant breach — every Nth packet returned to the pool is
+// silently leaked (fabric.Pool.LeakEvery), exactly what a missing Release
+// call looks like — and assert the property suite catches it, the shrinker
+// minimizes it without losing it, and the written repro file reproduces it
+// from disk alone.
+func TestSeededBreachIsCaughtAndShrunk(t *testing.T) {
+	spec := Generate(42)
+	spec.LeakPutEvery = 50
+
+	fail := Check(spec)
+	if fail == nil {
+		t.Fatal("seeded pool leak not caught by the property suite")
+	}
+	if fail.Property != PropInvariants {
+		t.Fatalf("leak surfaced as %s, want %s: %s", fail.Property, PropInvariants, fail.Detail)
+	}
+	if !strings.Contains(fail.Detail, invariant.RulePacketPool) {
+		t.Fatalf("leak not attributed to the %s invariant: %s", invariant.RulePacketPool, fail.Detail)
+	}
+	// The violation context must carry the generator identity, so the
+	// failure is reproducible from the log line alone.
+	if !strings.Contains(fail.Detail, "gen-seed=42") {
+		t.Fatalf("violation context missing generator seed: %s", fail.Detail)
+	}
+
+	min, minFail := Shrink(spec, Check, 25)
+	if minFail == nil {
+		t.Fatal("shrinker lost the seeded breach")
+	}
+	if minFail.Property != PropInvariants || !strings.Contains(minFail.Detail, invariant.RulePacketPool) {
+		t.Fatalf("shrinking changed the failure: %s", minFail.Error())
+	}
+	if min.LeakPutEvery != spec.LeakPutEvery {
+		t.Fatalf("shrinker touched the injected breach knob: %d", min.LeakPutEvery)
+	}
+	if min.DurationUs > spec.DurationUs || len(min.Faults) > len(spec.Faults) {
+		t.Fatalf("shrunk spec grew: %s", min.Params())
+	}
+	if min.DurationUs == spec.DurationUs && min.LoadPct == spec.LoadPct &&
+		min.MaxFlowKB == spec.MaxFlowKB && min.Leaves == spec.Leaves &&
+		min.Spines == spec.Spines && min.HostsPerLeaf == spec.HostsPerLeaf {
+		t.Fatalf("shrinker made no progress on a leak that survives shrinking: %s", min.Params())
+	}
+
+	// The repro file alone must reproduce the breach (LeakPutEvery rides
+	// along in the serialized spec).
+	path := filepath.Join(t.TempDir(), "leak-repro.json")
+	if err := WriteRepro(path, minFail); err != nil {
+		t.Fatal(err)
+	}
+	r, replayFail, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Property != PropInvariants {
+		t.Fatalf("repro file lost the verdict: %+v", r)
+	}
+	if replayFail == nil {
+		t.Fatal("replayed repro no longer reproduces the seeded breach")
+	}
+	if replayFail.Property != PropInvariants || !strings.Contains(replayFail.Detail, invariant.RulePacketPool) {
+		t.Fatalf("replay produced a different failure: %s", replayFail.Error())
+	}
+}

@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Fatalf("seed %d generated two different specs:\n%s\nvs\n%s", seed, ja, jb)
+		}
+		if a.GenSeed != seed {
+			t.Fatalf("seed %d: GenSeed not stamped (got %d)", seed, a.GenSeed)
+		}
+	}
+	if ja, jb := Generate(1), Generate(2); ja.Params() == jb.Params() {
+		t.Fatal("distinct seeds generated identical specs")
+	}
+}
+
+// TestGeneratedSpecsAreNormalized pins the generator to Normalize's envelope:
+// every generated spec must be a fixpoint of Normalize, every fault window
+// restored inside the traffic window, every drain above the completion floor.
+// The property suite's correctness rests on these.
+func TestGeneratedSpecsAreNormalized(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		s := Generate(seed)
+		n := s.Normalize()
+		n.GenSeed = s.GenSeed
+		js, _ := json.Marshal(s)
+		jn, _ := json.Marshal(n)
+		if string(js) != string(jn) {
+			t.Fatalf("seed %d: generated spec is not a Normalize fixpoint:\n%s\nvs\n%s", seed, js, jn)
+		}
+		if s.DrainUs < s.drainFloorUs() {
+			t.Fatalf("seed %d: drain %dus below floor for %dus window", seed, s.DrainUs, s.DurationUs)
+		}
+		links := map[[2]int]bool{}
+		for _, f := range s.Faults {
+			if f.Leaf < 0 || f.Leaf >= s.Leaves || f.Spine < 0 || f.Spine >= s.Spines {
+				t.Fatalf("seed %d: fault addresses nonexistent link l%d/s%d", seed, f.Leaf, f.Spine)
+			}
+			if !(f.DownAtUs < f.UpAtUs && f.UpAtUs <= s.DurationUs) {
+				t.Fatalf("seed %d: fault window %d-%dus not restored inside %dus window",
+					seed, f.DownAtUs, f.UpAtUs, s.DurationUs)
+			}
+			key := [2]int{f.Leaf, f.Spine}
+			if links[key] {
+				t.Fatalf("seed %d: two fault windows on link l%d/s%d", seed, f.Leaf, f.Spine)
+			}
+			links[key] = true
+		}
+		if s.IncastDegree != 0 {
+			hosts := s.Leaves * s.HostsPerLeaf
+			if s.IncastDegree < 2 || s.IncastDegree > hosts-1 {
+				t.Fatalf("seed %d: incast degree %d impossible with %d hosts", seed, s.IncastDegree, hosts)
+			}
+		}
+	}
+}
+
+// TestDecodeBytesStaysInEnvelope feeds adversarial byte slices through the
+// fuzz decoder and asserts every decoded spec lands in the same normalized
+// envelope as seeded generation — the property that makes fuzzing sound.
+func TestDecodeBytesStaysInEnvelope(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{0xff},
+		make([]byte, 3),
+		make([]byte, 7), // partial word
+		make([]byte, 8),
+		make([]byte, 200),
+		{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5},
+	}
+	for i := 0; i < 64; i++ {
+		inputs = append(inputs, []byte(strings.Repeat(string(rune('a'+i%26)), i)))
+	}
+	for _, in := range inputs {
+		s := DecodeBytes(in)
+		n := s.Normalize()
+		js, _ := json.Marshal(s)
+		jn, _ := json.Marshal(n)
+		if string(js) != string(jn) {
+			t.Fatalf("decode(%q) escaped the envelope:\n%s\nvs\n%s", in, js, jn)
+		}
+		if a, b := DecodeBytes(in), DecodeBytes(in); a.Params() != b.Params() {
+			t.Fatalf("decode(%q) nondeterministic", in)
+		}
+	}
+}
+
+// TestShrinkMinimizesAgainstPredicate drives the shrinker with a pure
+// predicate (no simulation) and asserts it reaches the predicate's minimal
+// failing spec, not just some smaller one.
+func TestShrinkMinimizesAgainstPredicate(t *testing.T) {
+	// "Bug" reproduces iff at least one fault window exists and the window is
+	// at least 100us on a >=2-leaf fabric — everything else is noise the
+	// shrinker must strip.
+	pred := func(s Spec) *Failure {
+		s = s.Normalize()
+		if len(s.Faults) >= 1 && s.DurationUs >= 100 {
+			return &Failure{Property: "synthetic", Detail: "still failing", Spec: s}
+		}
+		return nil
+	}
+	start := Spec{
+		SimSeed: 9, Leaves: 3, Spines: 4, HostsPerLeaf: 3, LinkGbps: 40,
+		AsymPct: 20, Scheme: "drill+rlb", Workload: "websearch",
+		LoadPct: 40, MaxFlowKB: 400, DurationUs: 480, DrainUs: 5000,
+		IncastDegree: 4, IncastKB: 64, IncastAtUs: 200, IncastClient: 1,
+		Faults: []FaultSpec{
+			{Leaf: 0, Spine: 0, DownAtUs: 100, UpAtUs: 200},
+			{Leaf: 1, Spine: 2, DownAtUs: 120, UpAtUs: 300, RateDiv: 4},
+			{Leaf: 2, Spine: 3, DownAtUs: 60, UpAtUs: 400},
+		},
+	}
+	min, fail := Shrink(start, pred, 500)
+	if fail == nil {
+		t.Fatal("shrinker lost the failure")
+	}
+	if len(min.Faults) != 1 {
+		t.Fatalf("faults not minimized: %d left", len(min.Faults))
+	}
+	if min.DurationUs >= 200 {
+		t.Fatalf("duration not minimized: %dus (halving below 100 must pass the predicate)", min.DurationUs)
+	}
+	if min.IncastDegree != 0 || min.AsymPct != 0 {
+		t.Fatalf("noise not stripped: incast=%d asym=%d", min.IncastDegree, min.AsymPct)
+	}
+	if min.Leaves != 2 || min.Spines != 2 || min.HostsPerLeaf != 1 {
+		t.Fatalf("fabric not minimized: %dx%d/%d", min.Leaves, min.Spines, min.HostsPerLeaf)
+	}
+	if min.LoadPct != 5 || min.MaxFlowKB != 10 {
+		t.Fatalf("load/cap not minimized: %d%% %dKB", min.LoadPct, min.MaxFlowKB)
+	}
+	// A passing spec comes back unchanged with no failure.
+	if _, f := Shrink(Spec{DurationUs: 50}, pred, 50); f != nil {
+		t.Fatalf("passing spec reported failing: %v", f)
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	calls := 0
+	pred := func(s Spec) *Failure {
+		calls++
+		return &Failure{Property: "synthetic", Detail: "always fails", Spec: s}
+	}
+	Shrink(Generate(3), pred, 10)
+	if calls > 10 {
+		t.Fatalf("shrinker ran %d checks against a budget of 10", calls)
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	f := &Failure{Property: PropLossless, Detail: "7 buffer drops", Spec: Generate(11)}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, f); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Property != f.Property || r.Detail != f.Detail {
+		t.Fatalf("round trip lost the verdict: %+v", r)
+	}
+	ja, _ := json.Marshal(f.Spec)
+	jb, _ := json.Marshal(r.Spec)
+	if string(ja) != string(jb) {
+		t.Fatalf("round trip changed the spec:\n%s\nvs\n%s", ja, jb)
+	}
+	if _, err := LoadRepro(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading a missing repro did not error")
+	}
+}
+
+// reproDir is where failing sweeps/fuzz runs park their repro files: the
+// RLB_REPRO_DIR environment variable when set, else the system temp dir —
+// somewhere that outlives the test process, unlike t.TempDir.
+func reproDir() string {
+	if d := os.Getenv("RLB_REPRO_DIR"); d != "" {
+		return d
+	}
+	return os.TempDir()
+}
+
+// shrinkAndReport minimizes a failing spec and writes a repro file, returning
+// the message for t.Errorf.
+func shrinkAndReport(t *testing.T, fail *Failure) string {
+	t.Helper()
+	min, minFail := Shrink(fail.Spec, Check, 60)
+	if minFail == nil { // flaky environment guard; report the original
+		min, minFail = fail.Spec, fail
+	}
+	path := filepath.Join(reproDir(), "rlb-repro-"+minFail.Property+".json")
+	msg := minFail.Error()
+	if err := WriteRepro(path, minFail); err != nil {
+		msg += " (repro write failed: " + err.Error() + ")"
+	} else {
+		msg += "\nshrunk spec: " + min.Params() + "\nreplay: rlbsim -repro " + path
+	}
+	return msg
+}
+
+// TestMetamorphicSweep is the fuzz tier's deterministic core: N generated
+// scenarios, every metamorphic property checked on each. Failures are
+// shrunk and written as repro files replayable via `rlbsim -repro`.
+func TestMetamorphicSweep(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 10
+	}
+	for i, fail := range Sweep(1000, n, 0) {
+		if fail != nil {
+			t.Errorf("scenario %d (gen-seed %d): %s", i, 1000+uint64(i), shrinkAndReport(t, fail))
+		}
+	}
+}
+
+// TestSweepIndependentOfWorkerCount pins the sweep's worker-isolation
+// contract: the verdict vector must not depend on parallelism.
+func TestSweepIndependentOfWorkerCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := Sweep(2000, 6, 1)
+	wide := Sweep(2000, 6, 4)
+	for i := range serial {
+		a, b := serial[i] == nil, wide[i] == nil
+		if a != b {
+			t.Fatalf("scenario %d verdict differs across worker counts: serial=%v wide=%v", i, serial[i], wide[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package scenario
+
+// Shrink greedily minimizes a failing spec: it tries one reduction at a
+// time (drop a fault, halve the duration, remove a host, ...), keeps any
+// candidate that still fails — any property, not necessarily the original
+// one, since the smallest reproduction of the underlying bug is what a human
+// wants to stare at — and restarts from the smaller spec until no reduction
+// fails or the check budget is exhausted. Every candidate passes through
+// Normalize, so shrinking can never escape the generator's envelope (e.g.
+// halving the duration re-floors the drain, keeping the completion property
+// honest). Returns the smallest failing spec found and its Failure; when the
+// input unexpectedly passes, returns it unchanged with a nil Failure.
+func Shrink(spec Spec, check CheckFunc, budget int) (Spec, *Failure) {
+	spec = spec.Normalize()
+	best := check(spec)
+	budget--
+	if best == nil {
+		return spec, nil
+	}
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for _, cand := range shrinkCandidates(spec) {
+			if budget <= 0 {
+				break
+			}
+			f := check(cand)
+			budget--
+			if f != nil {
+				spec, best = cand, f
+				changed = true
+				break // restart enumeration from the smaller spec
+			}
+		}
+	}
+	return spec, best
+}
+
+// cloneFaults deep-copies the fault slice so candidates never alias the
+// parent spec's backing array.
+func cloneFaults(fs []FaultSpec) []FaultSpec {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]FaultSpec, len(fs))
+	copy(out, fs)
+	return out
+}
+
+// shrinkCandidates enumerates the one-step reductions of s, biggest wins
+// first (structure before sizes before knobs), each already normalized.
+func shrinkCandidates(s Spec) []Spec {
+	var out []Spec
+	add := func(c Spec) { out = append(out, c.Normalize()) }
+
+	// Drop each fault window individually.
+	for i := range s.Faults {
+		c := s
+		c.Faults = append(cloneFaults(s.Faults[:i]), s.Faults[i+1:]...)
+		add(c)
+	}
+	// Drop the incast burst.
+	if s.IncastDegree >= 2 {
+		c := s
+		c.IncastDegree = 0
+		add(c)
+	}
+	// Halve the traffic window (Normalize re-floors the drain to match).
+	if s.DurationUs > 50 {
+		c := s
+		c.Faults = cloneFaults(s.Faults)
+		c.DurationUs = s.DurationUs / 2
+		c.DrainUs = 0 // re-derived by Normalize
+		add(c)
+	}
+	// Pull the drain down to its floor.
+	if s.DrainUs > s.drainFloorUs() {
+		c := s
+		c.DrainUs = 0
+		add(c)
+	}
+	// Shrink the fabric one dimension at a time.
+	if s.HostsPerLeaf > 1 {
+		c := s
+		c.Faults = cloneFaults(s.Faults)
+		c.HostsPerLeaf--
+		add(c)
+	}
+	if s.Leaves > 2 {
+		c := s
+		c.Faults = cloneFaults(s.Faults)
+		c.Leaves--
+		add(c)
+	}
+	if s.Spines > 2 {
+		c := s
+		c.Faults = cloneFaults(s.Faults)
+		c.Spines--
+		add(c)
+	}
+	// Halve the offered load and the elephant cap.
+	if s.LoadPct > 5 {
+		c := s
+		c.LoadPct = s.LoadPct / 2
+		add(c)
+	}
+	if s.MaxFlowKB > 10 {
+		c := s
+		c.MaxFlowKB = s.MaxFlowKB / 2
+		add(c)
+	}
+	// Shrink the incast before dropping it entirely failed.
+	if s.IncastDegree > 2 {
+		c := s
+		c.IncastDegree--
+		add(c)
+	}
+	if s.IncastDegree >= 2 && s.IncastKB > 4 {
+		c := s
+		c.IncastKB = s.IncastKB / 2
+		add(c)
+	}
+	// Remove static asymmetry.
+	if s.AsymPct > 0 {
+		c := s
+		c.AsymPct = 0
+		add(c)
+	}
+	return out
+}

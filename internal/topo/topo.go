@@ -281,6 +281,11 @@ func (n *Network) Starter() func(src, dst, size int) {
 	return func(src, dst, size int) { n.StartFlow(src, dst, size) }
 }
 
+// PacketPool exposes the simulation's packet free list, primarily so test
+// harnesses can reach its fault-injection knobs (fabric.Pool.LeakEvery) from
+// a RunConfig.Inject hook; see the scenario fuzzer's seeded-breach meta-test.
+func (n *Network) PacketPool() *fabric.Pool { return n.pool }
+
 // SprayFlow forces a flow to be packet-sprayed round-robin over the first k
 // uplinks at its source leaf, bypassing the LB policy — used to reproduce the
 // paper's "congested flow transmitted over k parallel paths" control knob

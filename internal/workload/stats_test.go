@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/rlb-project/rlb/internal/rng"
+)
+
+// analyticQuantile inverts the piecewise-linear CDF with the same
+// interpolation Sample uses, so the statistical tests compare the sampler
+// against the distribution it claims to draw from, not a re-derivation.
+func analyticQuantile(d *SizeDist, u float64) float64 {
+	i := sort.SearchFloat64s(d.Probs, u)
+	if i == 0 {
+		return float64(d.Sizes[0])
+	}
+	if i >= len(d.Probs) {
+		return float64(d.Sizes[len(d.Sizes)-1])
+	}
+	p0, p1 := d.Probs[i-1], d.Probs[i]
+	s0, s1 := d.Sizes[i-1], d.Sizes[i]
+	if p1 == p0 {
+		return float64(s1)
+	}
+	frac := (u - p0) / (p1 - p0)
+	return float64(s0) + frac*float64(s1-s0)
+}
+
+// drawSorted draws n samples from d and returns them sorted ascending.
+func drawSorted(d *SizeDist, seed uint64, n int) []int {
+	r := rng.New(seed)
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = d.Sample(r)
+	}
+	sort.Ints(samples)
+	return samples
+}
+
+// TestSampleMeanMatchesAnalytic draws 200k flows from each of the four
+// workloads with a fixed seed and requires the empirical mean within 5% of
+// the analytic Mean(). The tolerance is sized for the heaviest tail (Data
+// Mining puts 0.5% of flows between 150 MB and 1 GB, so its sample mean is
+// by far the noisiest); the run is deterministic, the margin exists so the
+// assertion survives RNG algorithm changes, not re-runs.
+func TestSampleMeanMatchesAnalytic(t *testing.T) {
+	const n = 200_000
+	for i, d := range All() {
+		d := d
+		seed := uint64(7 + i)
+		t.Run(d.Name, func(t *testing.T) {
+			r := rng.New(seed)
+			var sum float64
+			for j := 0; j < n; j++ {
+				sum += float64(d.Sample(r))
+			}
+			got, want := sum/n, d.Mean()
+			if rel := math.Abs(got-want) / want; rel > 0.05 {
+				t.Fatalf("sample mean %.0f vs analytic %.0f: %.1f%% off", got, want, 100*rel)
+			}
+		})
+	}
+}
+
+// TestSamplePercentilesMatchAnalytic checks the empirical p10/p25/p50/p75/
+// p90/p99 of 200k draws against the analytic quantiles for all four
+// workloads. Tolerance is 5% relative plus a small absolute slack for the
+// sub-kilobyte quantiles, where one CDF segment spans only a few hundred
+// bytes.
+func TestSamplePercentilesMatchAnalytic(t *testing.T) {
+	const n = 200_000
+	percentiles := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+	for i, d := range All() {
+		d := d
+		seed := uint64(70 + i)
+		t.Run(d.Name, func(t *testing.T) {
+			samples := drawSorted(d, seed, n)
+			for _, p := range percentiles {
+				idx := int(p * float64(n))
+				if idx >= n {
+					idx = n - 1
+				}
+				got := float64(samples[idx])
+				want := analyticQuantile(d, p)
+				slack := 0.05*want + 50
+				if math.Abs(got-want) > slack {
+					t.Errorf("p%.0f = %.0f, analytic %.0f (slack %.0f)", 100*p, got, want, slack)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleAgreesWithFracBelow cross-checks the sampler against the
+// forward CDF: the fraction of draws at or below s must match FracBelow(s)
+// within one percentage point, at every CDF knot and at segment midpoints.
+func TestSampleAgreesWithFracBelow(t *testing.T) {
+	const n = 200_000
+	for i, d := range All() {
+		d := d
+		seed := uint64(700 + i)
+		t.Run(d.Name, func(t *testing.T) {
+			samples := drawSorted(d, seed, n)
+			var probes []int
+			for j, s := range d.Sizes {
+				probes = append(probes, s)
+				if j+1 < len(d.Sizes) {
+					probes = append(probes, (s+d.Sizes[j+1])/2)
+				}
+			}
+			for _, s := range probes {
+				got := float64(sort.SearchInts(samples, s+1)) / n
+				want := d.FracBelow(s)
+				if math.Abs(got-want) > 0.01 {
+					t.Errorf("P(size <= %d) = %.4f, analytic %.4f", s, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleMeanCapped cross-checks MeanCapped — the quantity load
+// calibration actually uses — against capped draws, at a cap that truncates
+// each workload's tail (a quarter of its max size).
+func TestSampleMeanCapped(t *testing.T) {
+	const n = 200_000
+	for i, d := range All() {
+		d := d
+		seed := uint64(7000 + i)
+		t.Run(d.Name, func(t *testing.T) {
+			cap := d.MaxSize() / 4
+			r := rng.New(seed)
+			var sum float64
+			for j := 0; j < n; j++ {
+				sum += float64(min(d.Sample(r), cap))
+			}
+			got, want := sum/n, d.MeanCapped(cap)
+			if rel := math.Abs(got-want) / want; rel > 0.03 {
+				t.Fatalf("capped sample mean %.0f vs analytic %.0f: %.1f%% off", got, want, 100*rel)
+			}
+		})
+	}
+}

@@ -44,21 +44,8 @@ func TestSampleWithinSupport(t *testing.T) {
 	}
 }
 
-func TestSampleMeanMatchesAnalytic(t *testing.T) {
-	r := rng.New(2)
-	for _, d := range All() {
-		const n = 300000
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			sum += float64(d.Sample(r))
-		}
-		got := sum / n
-		want := d.Mean()
-		if got < 0.9*want || got > 1.1*want {
-			t.Errorf("%s: sample mean %.0f vs analytic %.0f", d.Name, got, want)
-		}
-	}
-}
+// The coarse sampler-mean check formerly here grew into the statistical
+// suite in stats_test.go (mean, percentiles, FracBelow, MeanCapped).
 
 func TestPaperHeadlineStatistics(t *testing.T) {
 	// Web Search mean ~1.6 MB (paper §2.2.1 uses "average flow size 1.6MB").

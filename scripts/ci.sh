@@ -6,6 +6,8 @@
 #                    unitsafe; see TESTING.md "Static analysis tier")
 #   3. race smoke  — -race -short over the simulator internals
 #   4. full suite  — bench-smoke perf gate + all tests incl. golden figures
+#   5. fuzz smoke  — metamorphic scenario sweep + seeded-breach meta-test +
+#                    time-boxed mutating fuzz over the committed corpus
 #
 # Each tier only runs if the previous one passed, so a compile error is not
 # buried under lint output and a lint finding is not buried under test logs.
@@ -30,6 +32,14 @@ echo "==> race smoke (-race -short)"
 echo "==> full suite (perf smoke + tests + golden figures)"
 make bench-smoke
 "$GO" test ./...
+
+# The deterministic halves of the fuzz tier (sweep + meta-test) already ran
+# inside `go test ./...`; re-running them here is cheap and keeps the tier
+# self-contained when invoked standalone. The -fuzztime bound keeps the
+# mutating half deterministic in duration, not in coverage — real fuzzing
+# sessions use `make fuzz`.
+echo "==> fuzz smoke (metamorphic sweep + seeded breach + 20s mutation)"
+make fuzz-smoke
 
 # Opt-in perf regression gate: events/sec vs the committed BENCH_PR4.json
 # (±10%). Wall-clock sensitive — only meaningful on a quiet machine that
