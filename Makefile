@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-short vet lint simlint golden bench bench-smoke bench-json bench-gate fuzz-smoke fuzz cover clean ci
+.PHONY: all build test short race race-short vet lint simlint golden grids-golden spec-verify bench bench-smoke bench-json bench-gate fuzz-smoke fuzz cover clean ci
 
 all: build lint test
 
@@ -85,6 +85,17 @@ lint: vet simlint
 simlint:
 	$(GO) run ./cmd/simlint ./...
 
+# Spec-layer verification tier (TESTING.md "Spec round-trip tier"): the
+# canonical-spec contracts in one command — JSON round trips byte-stable with
+# unknown fields rejected, the compiler's unit math pinned to harness.Scale,
+# the declarative figure grids pinned to their golden, a serialized cell
+# replaying bit-identically, and every committed fuzz-corpus entry and repro
+# fixture still decoding.
+spec-verify:
+	$(GO) test -count=1 ./internal/spec/
+	$(GO) test -count=1 -run 'TestCompile|TestFigureGrids' ./internal/harness/
+	$(GO) test -count=1 -run 'TestCommittedCorpusStillDecodes|TestCommittedReproStillReplays' ./internal/scenario/
+
 # Full CI sequence: build → lint → race smoke → full suite with goldens.
 ci:
 	./scripts/ci.sh
@@ -93,6 +104,11 @@ ci:
 # then review the diff (TESTING.md explains what "intentional" means here).
 golden:
 	$(GO) test ./internal/harness/ -run TestGoldenFigures -update-golden
+
+# Refresh the committed figure-grid golden after deliberately changing which
+# experiments a figure runs, then review the diff.
+grids-golden:
+	$(GO) test ./internal/harness/ -run TestFigureGridsGolden -update-grids
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	figures [-scale bench|default|paper] [-fig 3|4|6|7|8|9|10|all] [-seed N]
+//	figures -fig 7 -dump-spec        # the spec grids behind the figure, as JSON
+//
+// -dump-spec prints, instead of running anything, the declarative sweep grids
+// a figure is built from together with every expanded cell spec. Any cell is
+// a complete canonical experiment spec: save it to a file and `rlbsim -spec
+// cell.json` replays exactly that simulation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,19 +22,65 @@ import (
 	"time"
 
 	"github.com/rlb-project/rlb/internal/harness"
+	"github.com/rlb-project/rlb/internal/spec"
 )
+
+// gridDump pairs a figure's sweep grid with its expanded cells so consumers
+// can replay individual cells without reimplementing axis expansion.
+type gridDump struct {
+	Grid  spec.Grid   `json:"grid"`
+	Cells []spec.Spec `json:"cells"`
+}
+
+// figOrder is the dump order for -fig all.
+var figOrder = []string{"3", "4", "6", "7", "8", "9", "10", "irn"}
+
+func dumpSpecs(figSel string, scale harness.Scale, seed uint64) int {
+	figs := figOrder
+	if figSel != "all" {
+		figs = []string{figSel}
+	}
+	var dumps []gridDump
+	for _, f := range figs {
+		grids, err := harness.FigureGrids(f, scale, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+		for _, g := range grids {
+			cells, err := g.Cells()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				return 2
+			}
+			dumps = append(dumps, gridDump{Grid: g, Cells: cells})
+		}
+	}
+	data, err := json.MarshalIndent(dumps, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 2
+	}
+	os.Stdout.Write(append(data, '\n'))
+	return 0
+}
 
 func main() {
 	scaleName := flag.String("scale", "default", "fabric scale: bench, default, or paper")
 	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 6, 7, 8, 9, 10, irn, or all")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	dumpSpec := flag.Bool("dump-spec", false, "print the figure's spec grids and expanded cells as JSON and exit without running")
 	flag.Parse()
 
 	scale, ok := harness.ScaleByName(*scaleName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "figures: unknown scale %q (want bench, default, paper)\n", *scaleName)
 		os.Exit(2)
+	}
+
+	if *dumpSpec {
+		os.Exit(dumpSpecs(*fig, scale, *seed))
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }

@@ -1,11 +1,14 @@
 // Command rlbsim runs one simulation scenario and prints its metrics — the
 // quick way to poke at a configuration without the full figure harness.
 //
-// Usage examples:
+// The scenario is a canonical experiment spec (internal/spec): flags build
+// one, `-spec file.json` loads one, and flags given alongside `-spec` overlay
+// the file field by field. `-dump-spec` prints the effective spec instead of
+// running it, so any invocation can be frozen to a replayable JSON document:
 //
 //	rlbsim -scheme drill -workload websearch -load 0.6
-//	rlbsim -scheme drill+rlb -workload datamining -load 0.4 -asym
-//	rlbsim -scheme presto+rlb -leaves 4 -spines 6 -hosts 6 -duration 10ms
+//	rlbsim -scheme drill+rlb -load 0.4 -asym -dump-spec > exp.json
+//	rlbsim -spec exp.json -load 0.6          # same spec, one knob changed
 //	rlbsim -scheme ecmp -kill 2 -kill-at 1ms -restore-at 3ms -strict
 //	rlbsim -repro /tmp/rlb-repro-flows-complete.json
 package main
@@ -13,24 +16,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
-	"github.com/rlb-project/rlb/internal/core"
 	"github.com/rlb-project/rlb/internal/harness"
 	"github.com/rlb-project/rlb/internal/metrics"
 	"github.com/rlb-project/rlb/internal/scenario"
-	"github.com/rlb-project/rlb/internal/sim"
-	"github.com/rlb-project/rlb/internal/topo"
+	"github.com/rlb-project/rlb/internal/spec"
 	"github.com/rlb-project/rlb/internal/trace"
-	"github.com/rlb-project/rlb/internal/units"
-	"github.com/rlb-project/rlb/internal/workload"
 )
 
+// scenarioFlags are the flags that shape the scenario itself (as opposed to
+// observation/profiling knobs). They conflict with -repro, which replays a
+// recorded spec verbatim: silently ignoring them would run a different
+// scenario than the user asked for.
+var scenarioFlags = map[string]bool{
+	"scheme": true, "workload": true, "load": true, "leaves": true,
+	"spines": true, "hosts": true, "gbps": true, "duration": true,
+	"drain": true, "asym": true, "cap": true, "seed": true, "seeds": true,
+	"noguard": true, "norecirc": true, "probe": true, "kill": true,
+	"kill-at": true, "restore-at": true, "strict": true, "sched": true,
+	"spec": true,
+}
+
 func main() {
-	scheme := flag.String("scheme", "drill+rlb", "load balancer: ecmp|presto|letflow|hermes|drill, optionally +rlb")
+	scheme := flag.String("scheme", "drill+rlb", "load balancer: ecmp|presto|letflow|hermes|drill|conga, optionally +rlb")
 	wl := flag.String("workload", "websearch", "workload: webserver|cachefollower|websearch|datamining")
 	load := flag.Float64("load", 0.5, "offered load fraction of host line rate")
 	leaves := flag.Int("leaves", 4, "number of leaf switches")
@@ -52,13 +67,139 @@ func main() {
 	restoreAt := flag.Duration("restore-at", 0, "fault plane: when to restore them (0 = never)")
 	strict := flag.Bool("strict", false, "enable the strict invariant-checker tier")
 	sched := flag.String("sched", "calendar", "event scheduler: calendar|heap (heap is the reference implementation, for A/B debugging)")
-	repro := flag.String("repro", "", "replay a scenario-fuzzer repro file (ignores the other flags; exit 1 if it still fails)")
+	specPath := flag.String("spec", "", "load the scenario from this canonical spec JSON file; other flags overlay it")
+	dumpSpec := flag.Bool("dump-spec", false, "print the effective spec as canonical JSON and exit without running")
+	fingerprint := flag.Bool("fingerprint", false, "print the run's determinism fingerprint (single-seed runs)")
+	repro := flag.String("repro", "", "replay a scenario-fuzzer repro file (exit 1 if it still fails)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
+	visited := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+
 	if *repro != "" {
+		var conflicts []string
+		for name := range visited {
+			if name != "repro" && scenarioFlags[name] {
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if len(conflicts) > 0 {
+			sort.Strings(conflicts)
+			fmt.Fprintf(os.Stderr, "rlbsim: -repro replays the recorded scenario verbatim; drop the conflicting scenario flag(s): %s\n",
+				strings.Join(conflicts, ", "))
+			os.Exit(2)
+		}
 		os.Exit(runRepro(*repro))
+	}
+
+	// Build the effective spec: flag defaults (or the -spec file when given)
+	// overlaid with every flag the user set explicitly.
+	var s spec.Spec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+		s, err = spec.Decode(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+	}
+	set := func(name string) bool { return *specPath == "" || visited[name] }
+	if set("scheme") {
+		s.Scheme = *scheme
+	}
+	if set("workload") {
+		s.Workload = *wl
+	}
+	if set("load") {
+		s.LoadPct = int(math.Round(*load * 100))
+	}
+	if set("leaves") {
+		s.Leaves = *leaves
+	}
+	if set("spines") {
+		s.Spines = *spines
+	}
+	if set("hosts") {
+		s.HostsPerLeaf = *hosts
+	}
+	if set("gbps") {
+		s.LinkGbps = *gbps
+	}
+	if set("duration") {
+		s.DurationUs = int(*duration / time.Microsecond)
+	}
+	if set("drain") {
+		s.DrainUs = int(*drain / time.Microsecond)
+	}
+	if set("asym") {
+		if *asym {
+			s.AsymPct = 20
+		} else {
+			s.AsymPct = 0
+		}
+	}
+	if set("cap") {
+		s.MaxFlowKB = *capBytes / 1000
+	}
+	if set("seed") {
+		s.SimSeed = *seed
+	}
+	if set("seeds") {
+		s.Seeds = *seeds
+	}
+	if visited["noguard"] {
+		s.NoOrderGuard = *noGuard
+	}
+	if visited["norecirc"] {
+		s.NoRecirc = *noRecirc
+	}
+	if visited["probe"] {
+		s.ProbeUs = int(*probe / time.Microsecond)
+	}
+	if visited["sched"] {
+		s.Scheduler = *sched
+	}
+	if visited["strict"] {
+		s.Strict = *strict
+	}
+	if set("kill") {
+		if *kill > s.Spines {
+			fmt.Fprintf(os.Stderr, "rlbsim: -kill %d exceeds %d spines\n", *kill, s.Spines)
+			os.Exit(2)
+		}
+		s.Faults = nil
+		for i := 0; i < *kill; i++ {
+			s.Faults = append(s.Faults, spec.FaultSpec{
+				Leaf: 0, Spine: i,
+				DownAtUs: int(*killAt / time.Microsecond),
+				UpAtUs:   int(*restoreAt / time.Microsecond),
+			})
+		}
+	}
+
+	if *dumpSpec {
+		data, err := spec.Encode(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+
+	// Compile once up front so registry errors (unknown scheme, workload,
+	// scheduler — each listing the valid names) surface before any profiling
+	// starts or simulations run.
+	cfg, err := harness.Compile(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlbsim:", err)
+		os.Exit(2)
 	}
 
 	if *cpuprofile != "" {
@@ -89,29 +230,15 @@ func main() {
 		}()
 	}
 
-	dist, err := workload.ByName(*wl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rlbsim:", err)
-		os.Exit(2)
+	nSeeds := s.Seeds
+	if nSeeds < 1 {
+		nSeeds = 1
 	}
-	scale := harness.Scale{
-		Name: "custom", Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts,
-		LinkRate: units.Bandwidth(*gbps) * units.Gbps, LinkDelay: 2 * sim.Microsecond,
-		Duration: sim.FromStd(*duration), Drain: sim.FromStd(*drain),
+	if nSeeds > 1 {
+		runAveraged(s, nSeeds)
+		return
 	}
-	p := scale.TopoParams()
-	if *asym {
-		p = scale.AsymTopoParams()
-	}
-	kind, ok := sim.SchedulerByName(*sched)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rlbsim: unknown -sched %q (want calendar or heap)\n", *sched)
-		os.Exit(2)
-	}
-	p.Scheduler = kind
-	if *probe > 0 {
-		p.ProbeInterval = sim.FromStd(*probe)
-	}
+
 	var buf *trace.Buffer
 	if *traceN > 0 {
 		buf = trace.NewBuffer(*traceN)
@@ -120,63 +247,21 @@ func main() {
 		buf.Filter = func(e trace.Event) bool {
 			return e.Kind != trace.DataArrive && e.Kind != trace.DataDepart
 		}
-		p.Trace = buf
+		cfg.Topo.Trace = buf
 	}
-	rlbParams := core.DefaultParams(p.LinkDelay)
-	rlbParams.DisableOrderGuard = *noGuard
-	rlbParams.DisableRecirculation = *noRecirc
-	sch, err := harness.SchemeByName(*scheme, p.LinkDelay, &rlbParams)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rlbsim:", err)
-		os.Exit(2)
-	}
-	sch.Apply(&p)
-
-	var faults []topo.Fault
-	if *kill > 0 {
-		if *kill > *spines {
-			fmt.Fprintf(os.Stderr, "rlbsim: -kill %d exceeds %d spines\n", *kill, *spines)
-			os.Exit(2)
-		}
-		faults = harness.KillUplinks(0, *kill, sim.FromStd(*killAt), sim.FromStd(*restoreAt))
+	if *fingerprint {
+		cfg.KeepNetwork = true
 	}
 
-	var cfgs []harness.RunConfig
-	for i := 0; i < *seeds; i++ {
-		cfgs = append(cfgs, harness.RunConfig{
-			Topo: p, Workload: dist, Load: *load, MaxFlowBytes: *capBytes,
-			Duration: scale.Duration, Drain: scale.Drain, Seed: *seed + uint64(i)*1000,
-			Faults: faults, StrictInvariants: *strict,
-		})
-	}
-	results := harness.RunAll(cfgs)
-	if *seeds > 1 {
-		var afct, p50, p99, ooo metrics.Digest
-		for _, res := range results {
-			afct.Add(res.Report.AvgFCTms())
-			p50.Add(res.Report.FCT.Percentile(50))
-			p99.Add(res.Report.TailFCTms())
-			ooo.Add(100 * res.Report.OOORatio())
-		}
-		fmt.Printf("scheme=%s workload=%s load=%.2f seeds=%d\n", sch.Name, dist.Name, *load, *seeds)
-		fmt.Printf("avg over seeds: afct=%.4gms p50=%.4gms p99=%.4gms ooo=%.3g%%\n",
-			afct.Mean(), p50.Mean(), p99.Mean(), ooo.Mean())
-		var viol, lost uint64
-		for _, res := range results {
-			viol += uint64(len(res.Violations))
-			lost += res.WireLost
-		}
-		if viol > 0 {
-			fmt.Printf("INVARIANT VIOLATIONS: %d across %d seeds (rerun with -seeds 1 for detail)\n", viol, *seeds)
-		} else if *strict {
-			fmt.Printf("invariants: ok across %d seeds (strict); %d frames lost on the wire\n", *seeds, lost)
-		}
-		return
-	}
-	res := results[0]
+	res := harness.Run(cfg)
 	r := res.Report
+	asymLabel := ""
+	if s.AsymPct > 0 {
+		asymLabel = " (asym)"
+	}
 	fmt.Printf("scheme=%s workload=%s load=%.2f fabric=%dx%d/%d @%s%s\n",
-		sch.Name, dist.Name, *load, *leaves, *spines, *hosts, p.LinkRate, map[bool]string{true: " (asym)", false: ""}[*asym])
+		s.Scheme, s.Workload, float64(s.LoadPct)/100, s.Leaves, s.Spines, s.HostsPerLeaf,
+		cfg.Topo.LinkRate, asymLabel)
 	fmt.Printf("flows:      %d generated, %d completed\n", r.Flows, r.Completed)
 	fmt.Printf("fct:        %s\n", r.FCT.Summary("ms"))
 	fmt.Printf("small fct:  %s\n", r.SmallFCT.Summary("ms"))
@@ -186,15 +271,15 @@ func main() {
 	fmt.Printf("retx:       %.3f%% of %d sent frames\n", 100*r.RetxRatio(), r.TotalSent)
 	fmt.Printf("pfc:        %d PAUSE frames (%.1f/ms), %d drops\n",
 		res.Pauses, metrics.PauseRate(res.Pauses, res.SimTime), res.Drops)
-	if *kill > 0 || *strict {
-		fmt.Printf("faults:     %d links killed, %d frames lost on the wire\n", *kill, res.WireLost)
+	if len(s.Faults) > 0 || s.Strict {
+		fmt.Printf("faults:     %d fault windows, %d frames lost on the wire\n", len(s.Faults), res.WireLost)
 	}
 	if len(res.Violations) > 0 {
 		fmt.Printf("INVARIANT VIOLATIONS (%d, of %d checks):\n", len(res.Violations), res.InvariantChecks)
 		for _, v := range res.Violations {
 			fmt.Printf("  %s\n", v)
 		}
-	} else if *strict {
+	} else if s.Strict {
 		fmt.Printf("invariants: ok (%d checks, strict)\n", res.InvariantChecks)
 	}
 	fmt.Printf("rlb:        %d warnings accepted, %d recirculations\n", res.Warnings, res.Recircs)
@@ -204,10 +289,50 @@ func main() {
 			a.PicksTotal, a.PicksWarned, a.Reroutes, a.Recircs, a.OrderRecircs, a.DivertSticky, a.OrderStays, a.StayCheaper, a.Fallbacks)
 	}
 	fmt.Printf("wall:       %s for %v simulated\n", res.Wall.Round(time.Millisecond), res.SimTime)
+	if *fingerprint {
+		fmt.Printf("fingerprint: %s\n", harness.Fingerprint(res))
+	}
 	if buf != nil {
 		fmt.Printf("\ntrace:      %d events recorded (%s)\n", buf.Total(), buf.Summary())
 		fmt.Printf("last %d control-plane events:\n", buf.Len())
 		_ = buf.Dump(os.Stdout)
+	}
+}
+
+// runAveraged executes the spec at n consecutive seed offsets (the CLI's
+// historical stride of 1000) and prints the averaged headline metrics.
+func runAveraged(s spec.Spec, n int) {
+	var cfgs []harness.RunConfig
+	for i := 0; i < n; i++ {
+		c := s.Clone()
+		c.SimSeed = s.SimSeed + uint64(i)*1000
+		cfg, err := harness.Compile(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	results := harness.RunAll(cfgs)
+	var afct, p50, p99, ooo metrics.Digest
+	for _, res := range results {
+		afct.Add(res.Report.AvgFCTms())
+		p50.Add(res.Report.FCT.Percentile(50))
+		p99.Add(res.Report.TailFCTms())
+		ooo.Add(100 * res.Report.OOORatio())
+	}
+	fmt.Printf("scheme=%s workload=%s load=%.2f seeds=%d\n", s.Scheme, s.Workload, float64(s.LoadPct)/100, n)
+	fmt.Printf("avg over seeds: afct=%.4gms p50=%.4gms p99=%.4gms ooo=%.3g%%\n",
+		afct.Mean(), p50.Mean(), p99.Mean(), ooo.Mean())
+	var viol, lost uint64
+	for _, res := range results {
+		viol += uint64(len(res.Violations))
+		lost += res.WireLost
+	}
+	if viol > 0 {
+		fmt.Printf("INVARIANT VIOLATIONS: %d across %d seeds (rerun with -seeds 1 for detail)\n", viol, n)
+	} else if s.Strict {
+		fmt.Printf("invariants: ok across %d seeds (strict); %d frames lost on the wire\n", n, lost)
 	}
 }
 

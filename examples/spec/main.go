@@ -1,0 +1,80 @@
+// Canonical experiment specs: every entry point of this repo — the figure
+// builders, cmd/rlbsim, cmd/figures -dump-spec, the scenario fuzzer — speaks
+// one serializable spec type (internal/spec), compiled to a runnable config
+// by exactly one function (harness.Compile). This example builds a spec in
+// code, sweeps it with a declarative grid, round-trips one cell through the
+// canonical JSON form, and shows the replay is bit-identical.
+//
+//	go run ./examples/spec
+package main
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/harness"
+	"github.com/rlb-project/rlb/internal/spec"
+)
+
+func main() {
+	// One spec = one experiment. Integral units only (µs, KB, percent):
+	// the compiler owns every conversion to simulator types.
+	base := spec.Spec{
+		SimSeed: 1,
+		Leaves:  3, Spines: 4, HostsPerLeaf: 4, LinkGbps: 10,
+		AsymPct: 20,
+		Scheme:  "drill", Workload: "cachefollower",
+		LoadPct: 50, MaxFlowKB: 2000,
+		DurationUs: 2000, DrainUs: 8000,
+	}
+
+	// A Grid is a declarative sweep: base spec x named axes. The same
+	// machinery drives every paper figure (see `figures -dump-spec`).
+	grid := spec.Grid{
+		Name: "example",
+		Base: base,
+		Axes: []spec.Axis{{Field: "scheme", Strs: []string{"drill", "drill+rlb"}}},
+	}
+	specs, metrics := mustRun(grid)
+
+	fmt.Println("asymmetric 3x4 fabric, cache-follower @ 50% load")
+	fmt.Println()
+	fmt.Printf("%-11s %9s %9s %9s\n", "scheme", "afct(ms)", "p99(ms)", "ooo(%)")
+	for i, m := range metrics {
+		fmt.Printf("%-11s %9.3f %9.3f %9.2f\n", specs[i].Scheme, m.AFCT, m.P99, m.OOOPct)
+	}
+
+	// Any cell round-trips through the canonical JSON form byte-stably and
+	// replays bit-identically — this is what `figures -dump-spec` piped into
+	// `rlbsim -spec` relies on.
+	data, err := spec.Encode(specs[1])
+	if err != nil {
+		panic(err)
+	}
+	decoded, err := spec.Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	a, b := fingerprint(specs[1]), fingerprint(decoded)
+	fmt.Println()
+	fmt.Printf("replay of %q from its JSON form: bit-identical=%v\n", specs[1].Scheme, a == b)
+}
+
+// mustRun expands and runs the grid through the generic sweep engine.
+func mustRun(g spec.Grid) ([]spec.Spec, []harness.Metrics) {
+	specs, metrics, err := harness.RunGrid(g)
+	if err != nil {
+		panic(err)
+	}
+	return specs, metrics
+}
+
+// fingerprint compiles and runs one spec, returning the determinism
+// fingerprint of the completed simulation.
+func fingerprint(s spec.Spec) string {
+	cfg := harness.MustCompile(s)
+	cfg.KeepNetwork = true
+	res := harness.Run(cfg)
+	fp := harness.Fingerprint(res)
+	res.Network = nil
+	return fp
+}

@@ -12,7 +12,7 @@ import (
 var simPackages = []string{
 	"internal/sim", "internal/fabric", "internal/switchsim", "internal/transport",
 	"internal/dcqcn", "internal/core", "internal/lb", "internal/topo",
-	"internal/workload", "internal/harness", "internal/scenario",
+	"internal/workload", "internal/harness", "internal/scenario", "internal/spec",
 }
 
 // concurrencyAllowed are packages exempt from the goroutine/select rule:

@@ -1,8 +1,6 @@
 package harness
 
-import (
-	"github.com/rlb-project/rlb/internal/workload"
-)
+import "github.com/rlb-project/rlb/internal/spec"
 
 // ExtIRN is an extension experiment beyond the paper's figures: it compares
 // the three positions in the design space the paper's related work (§5)
@@ -20,42 +18,31 @@ func ExtIRN(s Scale, seed uint64) *Table {
 		Headers: []string{"base", "mode", "AFCT (ms)", "p99 (ms)", "OOO%",
 			"pauses/ms", "done"},
 	}
-	type mode struct {
-		label     string
-		rlb       bool
-		pfc       bool
-		selective bool
-	}
-	modes := []mode{
-		{"pfc+gbn", false, true, false},
-		{"pfc+gbn+rlb", true, true, false},
-		{"lossy+irn", false, false, true},
-	}
-	var cfgs []RunConfig
+	grids := ExtIRNGrids(s, seed)
+	modeLabels := []string{"pfc+gbn", "pfc+gbn+rlb", "lossy+irn"}
+	// The table reads base-major (all three modes of letflow, then drill),
+	// while each grid holds one mode's two bases; interleave the cells.
+	var cells []spec.Spec
 	var labels [][2]string
-	for _, base := range []string{"letflow", "drill"} {
-		for _, m := range modes {
-			name := base
-			if m.rlb {
-				name += "+rlb"
-			}
-			p := s.TopoParams()
-			MustScheme(name, s.LinkDelay, nil).Apply(&p)
-			p.Switch.PFCEnabled = m.pfc
-			p.Host.SelectiveRepeat = m.selective
-			cfgs = append(cfgs, RunConfig{
-				Topo:         p,
-				Workload:     workload.WebServer(),
-				Load:         0.6,
-				MaxFlowBytes: s.MaxFlowBytes,
-				Duration:     s.Duration,
-				Drain:        s.Drain,
-				Seed:         seed,
-			})
-			labels = append(labels, [2]string{base, m.label})
+	perMode := make([][]spec.Spec, len(grids))
+	for m, g := range grids {
+		gc, err := g.Cells()
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		perMode[m] = gc
+	}
+	bases := []string{"letflow", "drill"}
+	for b, base := range bases {
+		for m := range grids {
+			cells = append(cells, perMode[m][b])
+			labels = append(labels, [2]string{base, modeLabels[m]})
 		}
 	}
-	results := RunAveraged(cfgs, s.seeds())
+	results, err := RunSpecsAveraged(cells, s.seeds())
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
 	for i, l := range labels {
 		r := results[i]
 		t.AddRow(l[0], l[1], r.AFCT, r.P99, r.OOOPct, r.PauseRate, r.Completed)

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"github.com/rlb-project/rlb/internal/sim"
-	"github.com/rlb-project/rlb/internal/workload"
+	"github.com/rlb-project/rlb/internal/spec"
 )
 
 // fig10Base is the scheme used for the parameter sensitivity study.
@@ -15,68 +15,45 @@ const fig10Base = "drill"
 // Data Mining. AFCT is normalized per workload to the best value in the
 // sweep (1.0 = optimum).
 func Fig10Qth(s Scale, seed uint64) *Table {
-	fracs := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	g := Fig10QthGrid(s, seed)
 	t := &Table{
 		Title:   "Fig. 10(a) — sensitivity to Qth (normalized AFCT, " + fig10Base + "+rlb)",
 		Headers: []string{"workload"},
 	}
-	for _, f := range fracs {
-		t.Headers = append(t.Headers, fmt.Sprintf("%.0f%%", f*100))
+	for _, pct := range g.Axes[1].Ints {
+		t.Headers = append(t.Headers, fmt.Sprintf("%d%%", pct))
 	}
-	for _, wl := range []string{"webserver", "datamining"} {
-		dist, _ := workload.ByName(wl)
-		var cfgs []RunConfig
-		for _, frac := range fracs {
-			rlb := defaultRLBFor(s)
-			rlb.QthFraction = frac
-			p := s.TopoParams()
-			MustScheme(fig10Base+"+rlb", s.LinkDelay, &rlb).Apply(&p)
-			cfgs = append(cfgs, RunConfig{
-				Topo: p, Workload: dist, Load: 0.5,
-				MaxFlowBytes: s.MaxFlowBytes, Duration: s.Duration, Drain: s.Drain, Seed: seed,
-			})
-		}
-		results := RunAveraged(cfgs, s.seeds())
-		t.AddRow(normalizedRow(wl, results)...)
-	}
+	fig10Rows(t, g)
 	return t
 }
 
 // Fig10DeltaT reproduces Fig. 10(b): normalized AFCT as the derivative
 // sampling interval Δt sweeps 2-5 us.
 func Fig10DeltaT(s Scale, seed uint64) *Table {
-	dts := []sim.Time{
-		2 * sim.Microsecond, 2500 * sim.Nanosecond, 3 * sim.Microsecond,
-		3500 * sim.Nanosecond, 4 * sim.Microsecond, 4500 * sim.Nanosecond, 5 * sim.Microsecond,
-	}
+	g := Fig10DeltaTGrid(s, seed)
 	t := &Table{
 		Title:   "Fig. 10(b) — sensitivity to Δt (normalized AFCT, " + fig10Base + "+rlb)",
 		Headers: []string{"workload"},
 	}
-	for _, dt := range dts {
-		t.Headers = append(t.Headers, dt.String())
+	for _, ns := range g.Axes[1].Ints {
+		t.Headers = append(t.Headers, (sim.Time(ns) * sim.Nanosecond).String())
 	}
-	for _, wl := range []string{"webserver", "datamining"} {
-		dist, _ := workload.ByName(wl)
-		var cfgs []RunConfig
-		for _, dt := range dts {
-			rlb := defaultRLBFor(s)
-			rlb.DeltaT = dt
-			p := s.TopoParams()
-			MustScheme(fig10Base+"+rlb", s.LinkDelay, &rlb).Apply(&p)
-			cfgs = append(cfgs, RunConfig{
-				Topo: p, Workload: dist, Load: 0.5,
-				MaxFlowBytes: s.MaxFlowBytes, Duration: s.Duration, Drain: s.Drain, Seed: seed,
-			})
-		}
-		results := RunAveraged(cfgs, s.seeds())
-		t.AddRow(normalizedRow(wl, results)...)
-	}
+	fig10Rows(t, g)
 	return t
 }
 
+// fig10Rows runs the sensitivity grid (workload-major, parameter fastest) and
+// adds one normalized row per workload.
+func fig10Rows(t *Table, g spec.Grid) {
+	points := g.Axes[1].Len()
+	_, results := MustRunGrid(g)
+	for w, wl := range g.Axes[0].Strs {
+		t.AddRow(normalizedRow(wl, results[w*points:(w+1)*points])...)
+	}
+}
+
 // normalizedRow converts AFCTs into a row normalized to the sweep's best.
-func normalizedRow(label string, results []AvgMetrics) []interface{} {
+func normalizedRow(label string, results []Metrics) []interface{} {
 	best := 0.0
 	for _, r := range results {
 		if r.AFCT > 0 && (best == 0 || r.AFCT < best) {

@@ -10,27 +10,14 @@ func Fig3(s Scale, seed uint64) *Table {
 		Headers: []string{"scheme", "pfc", "pause/ms", "p99 OOD (pkts)", "OOO%",
 			"AFCT (ms)", "p99 FCT (ms)", "bg flows done"},
 	}
-	var specs []MotivationSpec
-	for _, name := range FourSchemes {
-		for _, pfc := range []bool{true, false} {
-			specs = append(specs, MotivationSpec{
-				Scale:      s,
-				Scheme:     motivScheme(name, s),
-				PFCEnabled: pfc,
-				SprayPaths: 5,
-				Bursts:     2,
-				Seed:       seed,
-			})
-		}
-	}
-	results := RunMotivationsAveraged(specs, s.seeds())
-	for i, spec := range specs {
+	cells, results := MustRunGrid(Fig3Grid(s, seed))
+	for i, c := range cells {
 		r := results[i]
 		pfcLabel := "on"
-		if !spec.PFCEnabled {
+		if c.PFCOff {
 			pfcLabel = "off"
 		}
-		t.AddRow(spec.Scheme.Name, pfcLabel,
+		t.AddRow(c.Scheme, pfcLabel,
 			r.PauseRate, r.OODp99, r.OOOPct, r.AFCT, r.P99, r.Completed)
 	}
 	t.AddNote("scale=%s: %d paths, %d bg pairs, %d seeds; paper uses 40 paths, 100 pairs",

@@ -14,16 +14,7 @@ func Fig4Paths(s Scale, seed uint64) *Table {
 	for _, k := range paths {
 		t.Headers = append(t.Headers, fmt.Sprintf("%dp", k))
 	}
-	var specs []MotivationSpec
-	for _, name := range FourSchemes {
-		for _, k := range paths {
-			specs = append(specs, MotivationSpec{
-				Scale: s, Scheme: motivScheme(name, s), PFCEnabled: true,
-				SprayPaths: k, Bursts: 2, Seed: seed,
-			})
-		}
-	}
-	results := RunMotivationsAveraged(specs, s.seeds())
+	_, results := MustRunGrid(Fig4PathsGrid(s, seed))
 	idx := 0
 	for _, name := range FourSchemes {
 		row := []interface{}{name}
@@ -44,21 +35,11 @@ func Fig4Bursts(s Scale, seed uint64) *Table {
 		Title:   "Fig. 4(b) — out-of-order packets (%) vs. continuous bursts",
 		Headers: []string{"scheme", "1", "2", "3", "4", "5", "6"},
 	}
-	bursts := []int{1, 2, 3, 4, 5, 6}
-	var specs []MotivationSpec
-	for _, name := range FourSchemes {
-		for _, b := range bursts {
-			specs = append(specs, MotivationSpec{
-				Scale: s, Scheme: motivScheme(name, s), PFCEnabled: true,
-				SprayPaths: 5, Bursts: b, Seed: seed,
-			})
-		}
-	}
-	results := RunMotivationsAveraged(specs, s.seeds())
+	_, results := MustRunGrid(Fig4BurstsGrid(s, seed))
 	idx := 0
 	for _, name := range FourSchemes {
 		row := []interface{}{name}
-		for range bursts {
+		for range t.Headers[1:] {
 			row = append(row, results[idx].OOOPct)
 			idx++
 		}

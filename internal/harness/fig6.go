@@ -16,37 +16,18 @@ func Fig6(s Scale, seed uint64) *Table {
 		Headers: []string{"scheme", "done", "p25 (ms)", "p50 (ms)", "p75 (ms)",
 			"p90 (ms)", "p99 (ms)", "AFCT (ms)", "OOO%"},
 	}
-	var cfgs []RunConfig
-	var names []string
-	for _, base := range FourSchemes {
-		for _, suffix := range []string{"", "+rlb"} {
-			name := base + suffix
-			p := s.TopoParams()
-			MustScheme(name, s.LinkDelay, nil).Apply(&p)
-			cfgs = append(cfgs, RunConfig{
-				Topo:         p,
-				Workload:     workload.WebSearch(),
-				Load:         0.6,
-				MaxFlowBytes: s.MaxFlowBytes,
-				Duration:     s.Duration,
-				Drain:        s.Drain,
-				Seed:         seed,
-			})
-			names = append(names, name)
-		}
-	}
-	results := RunAveraged(cfgs, s.seeds())
-	for i, name := range names {
+	cells, results := MustRunGrid(Fig6Grid(s, seed))
+	for i, c := range cells {
 		r := results[i]
-		t.AddRow(name, r.Completed, r.P25, r.P50, r.P75, r.P90, r.P99, r.AFCT, r.OOOPct)
+		t.AddRow(c.Scheme, r.Completed, r.P25, r.P50, r.P75, r.P90, r.P99, r.AFCT, r.OOOPct)
 	}
 	// Headline: tail change per base scheme (paper: cuts of 58/67/72/54%).
-	for i := 0; i < len(names); i += 2 {
+	for i := 0; i < len(cells); i += 2 {
 		van, rlb := results[i], results[i+1]
 		if van.P99 > 0 {
 			red := 100 * (van.P99 - rlb.P99) / van.P99
 			t.AddNote("%s: RLB changes p99 FCT by %+.0f%% (paper: cuts up to 58/67/72/54%% for presto/letflow/hermes/drill)",
-				names[i], -red)
+				cells[i].Scheme, -red)
 		}
 	}
 	return t

@@ -3,11 +3,9 @@ package harness
 import (
 	"fmt"
 
+	"github.com/rlb-project/rlb/internal/spec"
 	"github.com/rlb-project/rlb/internal/workload"
 )
-
-// fig7Loads are the offered loads swept in Fig. 7.
-var fig7Loads = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
 
 // fig7Schemes are the schemes compared in Fig. 7.
 var fig7Schemes = []string{"drill", "drill+rlb", "hermes", "hermes+rlb"}
@@ -17,50 +15,35 @@ var fig7Schemes = []string{"drill", "drill+rlb", "hermes", "hermes+rlb"}
 // RLB, across the four realistic workloads and loads 0.2-0.7.
 func Fig7(s Scale, seed uint64) []*Table {
 	var tables []*Table
-	for _, dist := range workload.All() {
-		tables = append(tables, fig7One(s, dist, seed))
+	for _, wl := range spec.WorkloadNames() {
+		tables = append(tables, fig7One(s, wl, seed))
 	}
 	return tables
 }
 
 // Fig7Workload runs Fig. 7 for a single named workload.
 func Fig7Workload(s Scale, name string, seed uint64) (*Table, error) {
-	dist, err := workload.ByName(name)
-	if err != nil {
+	if _, err := workload.ByName(name); err != nil {
 		return nil, err
 	}
-	return fig7One(s, dist, seed), nil
+	return fig7One(s, name, seed), nil
 }
 
-func fig7One(s Scale, dist *workload.SizeDist, seed uint64) *Table {
+func fig7One(s Scale, wl string, seed uint64) *Table {
 	t := &Table{
-		Title:   fmt.Sprintf("Fig. 7 — AFCT (ms) on asymmetric topology, %s workload", dist.Name),
+		Title:   fmt.Sprintf("Fig. 7 — AFCT (ms) on asymmetric topology, %s workload", wl),
 		Headers: []string{"scheme"},
 	}
-	for _, l := range fig7Loads {
-		t.Headers = append(t.Headers, fmt.Sprintf("load %.1f", l))
+	g := Fig7Grid(s, wl, seed)
+	loads := g.Axes[1].Ints
+	for _, l := range loads {
+		t.Headers = append(t.Headers, fmt.Sprintf("load %.1f", float64(l)/100))
 	}
-	var cfgs []RunConfig
-	for _, name := range fig7Schemes {
-		for _, load := range fig7Loads {
-			p := s.AsymTopoParams()
-			MustScheme(name, s.LinkDelay, nil).Apply(&p)
-			cfgs = append(cfgs, RunConfig{
-				Topo:         p,
-				Workload:     dist,
-				Load:         load,
-				MaxFlowBytes: s.MaxFlowBytes,
-				Duration:     s.Duration,
-				Drain:        s.Drain,
-				Seed:         seed,
-			})
-		}
-	}
-	results := RunAveraged(cfgs, s.seeds())
+	_, results := MustRunGrid(g)
 	idx := 0
 	for _, name := range fig7Schemes {
 		row := []interface{}{name}
-		for range fig7Loads {
+		for range loads {
 			row = append(row, results[idx].AFCT)
 			idx++
 		}

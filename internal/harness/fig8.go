@@ -1,175 +1,11 @@
 package harness
 
-import (
-	"fmt"
-
-	"github.com/rlb-project/rlb/internal/metrics"
-	"github.com/rlb-project/rlb/internal/rng"
-	"github.com/rlb-project/rlb/internal/sim"
-	"github.com/rlb-project/rlb/internal/topo"
-	"github.com/rlb-project/rlb/internal/transport"
-	"github.com/rlb-project/rlb/internal/units"
-)
+import "fmt"
 
 // fig8Schemes are the eight schemes of Fig. 8.
 var fig8Schemes = []string{
 	"presto", "presto+rlb", "letflow", "letflow+rlb",
 	"hermes", "hermes+rlb", "drill", "drill+rlb",
-}
-
-// incastOutcome summarizes repeated incast initiations in one simulation.
-type incastOutcome struct {
-	OOORatio    float64
-	MeanICTms   float64 // mean completion time of the last flow per initiation
-	Initiations int
-	Finished    int
-}
-
-// runIncast executes reps incast initiations of the given degree and total
-// response size under one scheme and returns the aggregate outcome.
-func runIncast(s Scale, schemeName string, degree, totalBytes, reps int, seed uint64) incastOutcome {
-	p := s.TopoParams()
-	MustScheme(schemeName, s.LinkDelay, nil).Apply(&p)
-
-	type group struct {
-		initAt sim.Time
-		flows  []*transport.Flow
-	}
-	groups := make([]*group, 0, reps)
-	// Space initiations so each completes before the next begins even with
-	// contention slowdown: the client's downlink needs totalBytes/rate, and
-	// PFC/retransmissions can stretch that several-fold.
-	ideal := units.TxTime(totalBytes, p.LinkRate)
-	gap := 4 * ideal
-	if gap < s.Duration/sim.Time(reps) {
-		gap = s.Duration / sim.Time(reps)
-	}
-
-	cfg := RunConfig{
-		Topo:     p,
-		Duration: sim.Time(reps) * gap,
-		Drain:    s.Drain + 8*ideal,
-		Seed:     seed,
-		Inject: func(n *topo.Network) {
-			r := rng.New(seed + 31)
-			numHosts := len(n.Hosts)
-			for rep := 0; rep < reps; rep++ {
-				rep := rep
-				at := sim.Time(rep) * gap
-				n.Eng.At(at, func() {
-					g := &group{initAt: n.Eng.Now()}
-					groups = append(groups, g)
-					client := r.Intn(numHosts)
-					per := totalBytes / degree
-					if per < 1 {
-						per = 1
-					}
-					used := map[int]bool{client: true}
-					for k := 0; k < degree && len(used) < numHosts; k++ {
-						srv := r.Intn(numHosts)
-						for used[srv] {
-							srv = r.Intn(numHosts)
-						}
-						used[srv] = true
-						g.flows = append(g.flows, n.StartFlow(srv, client, per))
-					}
-				})
-			}
-		},
-	}
-	res := Run(cfg)
-
-	var ict metrics.Digest
-	var all []*transport.Flow
-	finished := 0
-	for _, g := range groups {
-		all = append(all, g.flows...)
-		done := true
-		var last sim.Time
-		for _, f := range g.flows {
-			if !f.Done {
-				done = false
-				break
-			}
-			if f.FinishAt > last {
-				last = f.FinishAt
-			}
-		}
-		if done && len(g.flows) > 0 {
-			finished++
-			ict.AddTime(last - g.initAt)
-		}
-	}
-	rep := metrics.BuildFlowReport(all)
-	_ = res
-	return incastOutcome{
-		OOORatio:    rep.OOORatio(),
-		MeanICTms:   ict.Mean(),
-		Initiations: len(groups),
-		Finished:    finished,
-	}
-}
-
-// incastSweep runs all eight schemes over a sweep dimension concurrently,
-// averaging each point over the scale's seed count.
-func incastSweep(s Scale, degrees []int, sizes []int, reps int, seed uint64) map[string][]incastOutcome {
-	type job struct {
-		scheme string
-		degree int
-		total  int
-		seed   uint64
-	}
-	seeds := s.seeds()
-	var jobs []job
-	for _, scheme := range fig8Schemes {
-		for i := range degrees {
-			for k := 0; k < seeds; k++ {
-				jobs = append(jobs, job{scheme, degrees[i], sizes[i], seed + uint64(k)*seedStride})
-			}
-		}
-	}
-	outs := make([]incastOutcome, len(jobs))
-	sem := make(chan struct{}, maxWorkers(len(jobs)))
-	done := make(chan struct{})
-	for i := range jobs {
-		i := i
-		// Worker-isolation contract: runIncast constructs a private engine
-		// and RNG streams from the job's value-typed fields; nothing mutable
-		// is shared across workers. Each goroutine writes only outs[i], and
-		// the aggregation below reads outs in the fixed fig8Schemes × degrees
-		// order, so the sweep is deterministic regardless of worker count or
-		// completion order.
-		go func() {
-			sem <- struct{}{}
-			outs[i] = runIncast(s, jobs[i].scheme, jobs[i].degree, jobs[i].total, reps, jobs[i].seed)
-			<-sem
-			done <- struct{}{}
-		}()
-	}
-	for range jobs {
-		<-done
-	}
-	result := make(map[string][]incastOutcome)
-	idx := 0
-	for _, scheme := range fig8Schemes {
-		points := make([]incastOutcome, len(degrees))
-		for i := range degrees {
-			var agg incastOutcome
-			for k := 0; k < seeds; k++ {
-				o := outs[idx]
-				idx++
-				agg.OOORatio += o.OOORatio
-				agg.MeanICTms += o.MeanICTms
-				agg.Initiations += o.Initiations
-				agg.Finished += o.Finished
-			}
-			agg.OOORatio /= float64(seeds)
-			agg.MeanICTms /= float64(seeds)
-			points[i] = agg
-		}
-		result[scheme] = points
-	}
-	return result
 }
 
 // fig8Dims returns the degree and size sweeps for a scale. The paper sweeps
@@ -199,18 +35,7 @@ func Fig8Degree(s Scale, seed uint64) *Table {
 	for _, d := range degrees {
 		t.Headers = append(t.Headers, fmt.Sprintf("ooo%%@%d", d), fmt.Sprintf("ict@%d", d))
 	}
-	sizes := make([]int, len(degrees))
-	for i := range sizes {
-		sizes[i] = fixedSize
-	}
-	outs := incastSweep(s, degrees, sizes, 5, seed)
-	for _, scheme := range fig8Schemes {
-		row := []interface{}{scheme}
-		for _, o := range outs[scheme] {
-			row = append(row, 100*o.OOORatio, o.MeanICTms)
-		}
-		t.AddRow(row...)
-	}
+	fig8Rows(t, MustRunGridMetrics(Fig8DegreeGrid(s, seed)), len(degrees))
 	t.AddNote("ict in ms; paper sweeps degree 10..25 on 288 hosts, this scale %v on %d hosts",
 		degrees, s.Leaves*s.HostsPerLeaf)
 	return t
@@ -227,18 +52,22 @@ func Fig8Size(s Scale, seed uint64) *Table {
 	for _, sz := range sizes {
 		t.Headers = append(t.Headers, fmt.Sprintf("ooo%%@%.1fMB", float64(sz)/1e6), fmt.Sprintf("ict@%.1fMB", float64(sz)/1e6))
 	}
-	degrees := make([]int, len(sizes))
-	for i := range degrees {
-		degrees[i] = fixedDegree
-	}
-	outs := incastSweep(s, degrees, sizes, 5, seed)
+	fig8Rows(t, MustRunGridMetrics(Fig8SizeGrid(s, seed)), len(sizes))
+	t.AddNote("paper sweeps 4..10 MB; this scale sweeps %v bytes", sizes)
+	return t
+}
+
+// fig8Rows renders one table row per scheme from scheme-major sweep results,
+// points columns each: the averaged out-of-order ratio as a percentage and
+// the mean incast completion time.
+func fig8Rows(t *Table, results []Metrics, points int) {
+	idx := 0
 	for _, scheme := range fig8Schemes {
 		row := []interface{}{scheme}
-		for _, o := range outs[scheme] {
-			row = append(row, 100*o.OOORatio, o.MeanICTms)
+		for p := 0; p < points; p++ {
+			row = append(row, 100*results[idx].OOORatio, results[idx].ICTms)
+			idx++
 		}
 		t.AddRow(row...)
 	}
-	t.AddNote("paper sweeps 4..10 MB; this scale sweeps %v bytes", sizes)
-	return t
 }

@@ -1,64 +1,32 @@
 package harness
 
-import (
-	"fmt"
-
-	"github.com/rlb-project/rlb/internal/workload"
-)
+import "fmt"
 
 // Fig9 reproduces Fig. 9 (deep dive): the benefit of packet recirculation.
 // Presto+RLB and Hermes+RLB run with recirculation enabled vs. disabled
 // ("W/O Recir." always reroutes on a warning) under the Web Server and Data
 // Mining workloads at 40/60/80% load; the metric is 99th-percentile FCT.
 func Fig9(s Scale, seed uint64) []*Table {
-	loads := []float64{0.4, 0.6, 0.8}
-	bases := []string{"presto", "hermes"}
 	var tables []*Table
 	for _, wl := range []string{"webserver", "datamining"} {
-		dist, err := workload.ByName(wl)
-		if err != nil {
-			panic(err)
-		}
+		g := Fig9Grid(s, wl, seed)
+		loads := g.Axes[2].Ints
 		t := &Table{
 			Title:   fmt.Sprintf("Fig. 9 — p99 FCT (ms), recirculation ablation, %s workload", wl),
 			Headers: []string{"scheme"},
 		}
 		for _, l := range loads {
-			t.Headers = append(t.Headers, fmt.Sprintf("load %.0f%%", l*100))
+			t.Headers = append(t.Headers, fmt.Sprintf("load %d%%", l))
 		}
-		var cfgs []RunConfig
-		var names []string
-		for _, base := range bases {
-			for _, recirc := range []bool{false, true} {
-				name := base + "+rlb"
-				rlb := defaultRLBFor(s)
-				rlb.DisableRecirculation = !recirc
-				if !recirc {
-					name += " w/o recir."
-				}
-				for _, load := range loads {
-					p := s.TopoParams()
-					MustScheme(base+"+rlb", s.LinkDelay, &rlb).Apply(&p)
-					cfgs = append(cfgs, RunConfig{
-						Topo:         p,
-						Workload:     dist,
-						Load:         load,
-						MaxFlowBytes: s.MaxFlowBytes,
-						Duration:     s.Duration,
-						Drain:        s.Drain,
-						Seed:         seed,
-					})
-				}
-				names = append(names, name)
+		cells, results := MustRunGrid(g)
+		for i := 0; i < len(cells); i += len(loads) {
+			name := cells[i].Scheme
+			if cells[i].NoRecirc {
+				name += " w/o recir."
 			}
-		}
-		results := RunAveraged(cfgs, s.seeds())
-		idx := 0
-		for _, name := range names {
 			row := []interface{}{name}
-			for range loads {
-				row = append(row, results[idx].P99)
-				idx++
+			for j := 0; j < len(loads); j++ {
+				row = append(row, results[i+j].P99)
 			}
 			t.AddRow(row...)
 		}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/rlb-project/rlb/internal/spec"
+)
+
+// This file declares every paper figure as a spec.Grid — a base Spec plus
+// named axes — so the exact experiment behind each figure is inspectable
+// (`figures -dump-spec`), replayable one cell at a time (`rlbsim -spec`), and
+// executed by the one generic sweep engine (RunGrid) instead of per-figure
+// loop code. Axis order matters: Cells expands row-major with the last axis
+// fastest, which is the row/column order the table renderers consume.
+
+// withRLBPairs interleaves each base scheme with its +rlb variant
+// (presto, presto+rlb, letflow, letflow+rlb, ...).
+func withRLBPairs(bases []string) []string {
+	out := make([]string, 0, 2*len(bases))
+	for _, b := range bases {
+		out = append(out, b, b+spec.RLBSuffix)
+	}
+	return out
+}
+
+// Fig3Grid sweeps the four base schemes with PFC on/off in the Fig. 2
+// motivation scenario.
+func Fig3Grid(s Scale, seed uint64) spec.Grid {
+	return spec.Grid{
+		Name:  "fig3",
+		Seeds: s.seeds(),
+		Base:  s.MotivSpec(seed, 5, 2),
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: FourSchemes},
+			{Field: "pfcOff", Ints: []int{0, 1}},
+		},
+	}
+}
+
+// Fig4PathsGrid sweeps the number of paths the congested flow sprays over.
+func Fig4PathsGrid(s Scale, seed uint64) spec.Grid {
+	return spec.Grid{
+		Name:  "fig4_paths",
+		Seeds: s.seeds(),
+		Base:  s.MotivSpec(seed, 5, 2),
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: FourSchemes},
+			{Field: "sprayPaths", Ints: sweepInts(1, s.MotivSpines, 6)},
+		},
+	}
+}
+
+// Fig4BurstsGrid sweeps the number of continuous burst waves.
+func Fig4BurstsGrid(s Scale, seed uint64) spec.Grid {
+	return spec.Grid{
+		Name:  "fig4_bursts",
+		Seeds: s.seeds(),
+		Base:  s.MotivSpec(seed, 5, 2),
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: FourSchemes},
+			{Field: "bursts", Ints: []int{1, 2, 3, 4, 5, 6}},
+		},
+	}
+}
+
+// Fig6Grid runs every base scheme with and without RLB under Web Search at
+// 60% load on the symmetric fabric.
+func Fig6Grid(s Scale, seed uint64) spec.Grid {
+	base := s.Spec(seed)
+	base.Workload = "websearch"
+	base.LoadPct = 60
+	return spec.Grid{
+		Name:  "fig6",
+		Seeds: s.seeds(),
+		Base:  base,
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: withRLBPairs(FourSchemes)},
+		},
+	}
+}
+
+// Fig7Grid sweeps scheme x load on the asymmetric fabric for one workload.
+func Fig7Grid(s Scale, wl string, seed uint64) spec.Grid {
+	base := s.Spec(seed)
+	base.Workload = wl
+	base.AsymPct = 20
+	return spec.Grid{
+		Name:  "fig7_" + wl,
+		Seeds: s.seeds(),
+		Base:  base,
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: fig7Schemes},
+			{Field: "loadPct", Ints: []int{20, 30, 40, 50, 60, 70}},
+		},
+	}
+}
+
+// fig8Base is the shared repeated-incast base: 5 initiations, no background
+// workload (Compile enforces that the incast kind runs alone).
+func fig8Base(s Scale, seed uint64) spec.Spec {
+	base := s.Spec(seed)
+	base.IncastReps = 5
+	return base
+}
+
+// Fig8DegreeGrid sweeps incast degree at a fixed total response size.
+func Fig8DegreeGrid(s Scale, seed uint64) spec.Grid {
+	degrees, _, _, fixedSize := fig8Dims(s)
+	base := fig8Base(s, seed)
+	base.IncastKB = fixedSize / 1000
+	return spec.Grid{
+		Name:  "fig8_degree",
+		Seeds: s.seeds(),
+		Base:  base,
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: fig8Schemes},
+			{Field: "incastDegree", Ints: degrees},
+		},
+	}
+}
+
+// Fig8SizeGrid sweeps total response size at a fixed incast degree.
+func Fig8SizeGrid(s Scale, seed uint64) spec.Grid {
+	_, sizes, fixedDegree, _ := fig8Dims(s)
+	base := fig8Base(s, seed)
+	base.IncastDegree = fixedDegree
+	kbs := make([]int, len(sizes))
+	for i, sz := range sizes {
+		kbs[i] = sz / 1000
+	}
+	return spec.Grid{
+		Name:  "fig8_size",
+		Seeds: s.seeds(),
+		Base:  base,
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: fig8Schemes},
+			{Field: "incastKB", Ints: kbs},
+		},
+	}
+}
+
+// Fig9Grid is the recirculation ablation for one workload: Presto+RLB and
+// Hermes+RLB with recirculation disabled (noRecirc=1 first, matching the
+// paper's "W/O Recir." row order) vs. enabled, across three loads.
+func Fig9Grid(s Scale, wl string, seed uint64) spec.Grid {
+	base := s.Spec(seed)
+	base.Workload = wl
+	return spec.Grid{
+		Name:  "fig9_" + wl,
+		Seeds: s.seeds(),
+		Base:  base,
+		Axes: []spec.Axis{
+			{Field: "scheme", Strs: []string{"presto+rlb", "hermes+rlb"}},
+			{Field: "noRecirc", Ints: []int{1, 0}},
+			{Field: "loadPct", Ints: []int{40, 60, 80}},
+		},
+	}
+}
+
+// fig10Grid is the shared Fig. 10 sensitivity base: the study scheme with RLB
+// at 50% load, swept per workload by one parameter axis.
+func fig10Grid(s Scale, seed uint64, name string, axis spec.Axis) spec.Grid {
+	base := s.Spec(seed)
+	base.Scheme = fig10Base + spec.RLBSuffix
+	base.LoadPct = 50
+	return spec.Grid{
+		Name:  name,
+		Seeds: s.seeds(),
+		Base:  base,
+		Axes: []spec.Axis{
+			{Field: "workload", Strs: []string{"webserver", "datamining"}},
+			axis,
+		},
+	}
+}
+
+// Fig10QthGrid sweeps the PFC-warning threshold fraction.
+func Fig10QthGrid(s Scale, seed uint64) spec.Grid {
+	return fig10Grid(s, seed, "fig10_qth",
+		spec.Axis{Field: "qthFracPct", Ints: []int{20, 30, 40, 50, 60, 70, 80}})
+}
+
+// Fig10DeltaTGrid sweeps the queue-derivative sampling interval.
+func Fig10DeltaTGrid(s Scale, seed uint64) spec.Grid {
+	return fig10Grid(s, seed, "fig10_deltat",
+		spec.Axis{Field: "deltaTNs", Ints: []int{2000, 2500, 3000, 3500, 4000, 4500, 5000}})
+}
+
+// ExtIRNGrids declares the extension experiment's three transport modes,
+// each a scheme sweep over the two base LBs (letflow, drill) on the same
+// fabric and workload. ExtIRN runs the cells base-major to keep the table's
+// row order.
+func ExtIRNGrids(s Scale, seed uint64) []spec.Grid {
+	base := s.Spec(seed)
+	base.Workload = "webserver"
+	base.LoadPct = 60
+
+	gbn := spec.Grid{Name: "ext_irn_pfc_gbn", Seeds: s.seeds(), Base: base.Clone(),
+		Axes: []spec.Axis{{Field: "scheme", Strs: []string{"letflow", "drill"}}}}
+
+	rlb := spec.Grid{Name: "ext_irn_pfc_gbn_rlb", Seeds: s.seeds(), Base: base.Clone(),
+		Axes: []spec.Axis{{Field: "scheme", Strs: []string{"letflow+rlb", "drill+rlb"}}}}
+
+	irnBase := base.Clone()
+	irnBase.PFCOff = true
+	irnBase.SelectiveRepeat = true
+	irn := spec.Grid{Name: "ext_irn_lossy_irn", Seeds: s.seeds(), Base: irnBase,
+		Axes: []spec.Axis{{Field: "scheme", Strs: []string{"letflow", "drill"}}}}
+
+	return []spec.Grid{gbn, rlb, irn}
+}
+
+// FigureGrids returns the declarative grids behind a figure name as
+// cmd/figures spells it ("3", "4", ..., "irn"). This is the registry
+// `figures -dump-spec` serializes.
+func FigureGrids(fig string, s Scale, seed uint64) ([]spec.Grid, error) {
+	switch fig {
+	case "3":
+		return []spec.Grid{Fig3Grid(s, seed)}, nil
+	case "4":
+		return []spec.Grid{Fig4PathsGrid(s, seed), Fig4BurstsGrid(s, seed)}, nil
+	case "6":
+		return []spec.Grid{Fig6Grid(s, seed)}, nil
+	case "7":
+		var gs []spec.Grid
+		for _, wl := range spec.WorkloadNames() {
+			gs = append(gs, Fig7Grid(s, wl, seed))
+		}
+		return gs, nil
+	case "8":
+		return []spec.Grid{Fig8DegreeGrid(s, seed), Fig8SizeGrid(s, seed)}, nil
+	case "9":
+		return []spec.Grid{Fig9Grid(s, "webserver", seed), Fig9Grid(s, "datamining", seed)}, nil
+	case "10":
+		return []spec.Grid{Fig10QthGrid(s, seed), Fig10DeltaTGrid(s, seed)}, nil
+	case "irn":
+		return ExtIRNGrids(s, seed), nil
+	}
+	return nil, fmt.Errorf("harness: no grids for figure %q", fig)
+}

@@ -40,6 +40,23 @@ type MotivationResult struct {
 
 // RunMotivation executes the Fig. 2 scenario once.
 func RunMotivation(spec MotivationSpec) *MotivationResult {
+	cfg, nBg := motivationConfig(spec)
+	res := Run(cfg)
+	// Background flows are those sourced by H1..Hn (host ids < nBg).
+	var bg []*transport.Flow
+	for _, f := range res.Network.Flows {
+		if f.Src < nBg {
+			bg = append(bg, f)
+		}
+	}
+	res.Network = nil
+	return &MotivationResult{Result: res, Background: metrics.BuildFlowReport(bg)}
+}
+
+// motivationConfig builds the Fig. 2 scenario's RunConfig and returns it with
+// the background-sender count (host ids below it are the victim flows the
+// figures measure). Shared by RunMotivation and the spec compiler.
+func motivationConfig(spec MotivationSpec) (RunConfig, int) {
 	s := spec.Scale
 	nBg := s.MotivHosts
 	nBurst := nBg / 4
@@ -102,16 +119,7 @@ func RunMotivation(spec MotivationSpec) *MotivationResult {
 				nBg, hostsPerLeaf, bgLoad, s.Duration, s.MaxFlowBytes)
 		},
 	}
-	res := Run(cfg)
-	// Background flows are those sourced by H1..Hn (host ids < nBg).
-	var bg []*transport.Flow
-	for _, f := range res.Network.Flows {
-		if f.Src < nBg {
-			bg = append(bg, f)
-		}
-	}
-	res.Network = nil
-	return &MotivationResult{Result: res, Background: metrics.BuildFlowReport(bg)}
+	return cfg, nBg
 }
 
 // pairedPoisson drives Poisson flow arrivals from sender i (host id i on

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/spec"
 	"github.com/rlb-project/rlb/internal/switchsim"
 	"github.com/rlb-project/rlb/internal/topo"
 	"github.com/rlb-project/rlb/internal/units"
@@ -147,6 +148,41 @@ func (s Scale) ScaleSwitch(cfg *switchsim.Config) {
 	cfg.ECNKmax = scale(cfg.ECNKmax, ratio)
 	// The shared pool keeps the paper's 9 MB: shrinking it would introduce
 	// tail drops in the PFC-off baselines that the paper's setup never has.
+}
+
+// Spec renders this scale as a canonical fabric-kind spec base: the fabric
+// shape, link rate/delay, window, and flow cap in the spec's integral units.
+// Scheme/workload/load stay empty for the figure grids' axes to fill. Every
+// committed Scale has microsecond-aligned durations and kilobyte-aligned
+// caps, so the conversion is exact and Compile(s.Spec(seed)) reproduces
+// s.TopoParams() bit-for-bit (compile_test pins it).
+func (s Scale) Spec(seed uint64) spec.Spec {
+	return spec.Spec{
+		SimSeed:      seed,
+		Leaves:       s.Leaves,
+		Spines:       s.Spines,
+		HostsPerLeaf: s.HostsPerLeaf,
+		LinkGbps:     int(s.LinkRate / units.Gbps),
+		LinkDelayNs:  int(s.LinkDelay / sim.Nanosecond),
+		MaxFlowKB:    s.MaxFlowBytes / 1000,
+		DurationUs:   int(s.Duration / sim.Microsecond),
+		DrainUs:      int(s.Drain / sim.Microsecond),
+	}
+}
+
+// MotivSpec renders this scale as a motivation-kind spec base (the Fig. 2
+// scenario). The fabric shape fields are zeroed — the motivation topology is
+// derived from the Motiv block — and the scheme axis fills Scheme.
+func (s Scale) MotivSpec(seed uint64, sprayPaths, bursts int) spec.Spec {
+	sp := s.Spec(seed)
+	sp.Leaves, sp.Spines, sp.HostsPerLeaf = 0, 0, 0
+	sp.Motiv = &spec.MotivSpec{
+		Spines:     s.MotivSpines,
+		Hosts:      s.MotivHosts,
+		SprayPaths: sprayPaths,
+		Bursts:     bursts,
+	}
+	return sp
 }
 
 // AsymTopoParams returns the §4.2 asymmetric fabric: 20% of leaf-spine links

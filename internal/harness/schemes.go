@@ -37,7 +37,7 @@ func baseFactory(name string, linkDelay sim.Time) (lb.Factory, error) {
 	case "drill":
 		return lb.NewDRILL(2, 1), nil
 	default:
-		return nil, fmt.Errorf("harness: unknown scheme %q", name)
+		return nil, fmt.Errorf("harness: unknown scheme %q (valid: %s)", name, schemeNameList())
 	}
 }
 

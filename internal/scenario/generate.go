@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 
 	"github.com/rlb-project/rlb/internal/rng"
+	"github.com/rlb-project/rlb/internal/spec"
+	"github.com/rlb-project/rlb/internal/workload"
 )
 
 // entropy is the generator's randomness source. Seeded generation draws from
@@ -64,15 +66,14 @@ func between(e entropy, lo, hi int) int {
 // chance is true pct percent of the time.
 func chance(e entropy, pct int) bool { return intn(e, 100) < pct }
 
-// genSchemes is every harness scheme the generator samples: the paper's six
-// base load balancers, each with and without RLB.
-var genSchemes = []string{
-	"ecmp", "presto", "letflow", "hermes", "drill", "conga",
-	"ecmp+rlb", "presto+rlb", "letflow+rlb", "hermes+rlb", "drill+rlb", "conga+rlb",
-}
+// genSchemes is every scheme the generator samples, straight from the
+// canonical registry: the paper's six base load balancers, each with and
+// without RLB. spec.SchemeNames pins the order the corpus format relies on.
+var genSchemes = spec.SchemeNames()
 
-// genWorkloads are the four empirical flow-size CDFs from the paper's §4.1.
-var genWorkloads = []string{"webserver", "cachefollower", "websearch", "datamining"}
+// genWorkloads are the four empirical flow-size CDFs from the paper's §4.1,
+// in the registry's corpus-format order.
+var genWorkloads = workload.Names()
 
 // genLinkGbps are the sampled symmetric link rates.
 var genLinkGbps = []int{10, 25, 40}
@@ -137,4 +138,11 @@ func generate(e entropy) Spec {
 	s = s.Normalize()
 	s.DrainUs += extraDrainUs
 	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

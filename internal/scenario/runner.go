@@ -58,29 +58,42 @@ type CheckFunc func(Spec) *Failure
 // calendar-queue runs (single-run properties + same-seed determinism) and
 // one reference-heap run (scheduler equivalence). Returns nil when every
 // property holds.
-func Check(spec Spec) *Failure {
-	spec = spec.Normalize()
-	a := harness.Run(spec.RunConfig(sim.SchedCalendar))
-	if f := checkSingleRun(spec, a); f != nil {
+func Check(s Spec) *Failure {
+	s = s.Normalize()
+	a := harness.Run(propertyConfig(s, sim.SchedCalendar))
+	if f := checkSingleRun(s, a); f != nil {
 		return f
 	}
-	b := harness.Run(spec.RunConfig(sim.SchedCalendar))
+	b := harness.Run(propertyConfig(s, sim.SchedCalendar))
 	if fa, fb := harness.Fingerprint(a), harness.Fingerprint(b); fa != fb {
 		return &Failure{
 			Property: PropDeterminism,
 			Detail:   fmt.Sprintf("same spec diverged across runs:\n%s\nvs\n%s", fa, fb),
-			Spec:     spec,
+			Spec:     s,
 		}
 	}
-	h := harness.Run(spec.RunConfig(sim.SchedHeap))
+	h := harness.Run(propertyConfig(s, sim.SchedHeap))
 	if fa, fh := harness.Fingerprint(a), harness.Fingerprint(h); fa != fh {
 		return &Failure{
 			Property: PropSchedEquiv,
 			Detail:   fmt.Sprintf("calendar and heap schedulers diverged:\ncalendar %s\nvs\nheap     %s", fa, fh),
-			Spec:     spec,
+			Spec:     s,
 		}
 	}
 	return nil
+}
+
+// propertyConfig compiles a normalized spec for one property-suite run under
+// the given event scheduler. The shared compiler builds the config; the
+// property suite then forces its own observation knobs — strict invariants
+// always on (their audits are what the properties consume) and the network
+// retained for flow-level fingerprinting.
+func propertyConfig(s Spec, kind sim.SchedulerKind) harness.RunConfig {
+	cfg := harness.MustCompile(s)
+	cfg.Topo.Scheduler = kind
+	cfg.StrictInvariants = true
+	cfg.KeepNetwork = true
+	return cfg
 }
 
 // checkSingleRun evaluates the properties observable from one run.

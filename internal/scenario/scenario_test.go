@@ -39,7 +39,7 @@ func TestGeneratedSpecsAreNormalized(t *testing.T) {
 		if string(js) != string(jn) {
 			t.Fatalf("seed %d: generated spec is not a Normalize fixpoint:\n%s\nvs\n%s", seed, js, jn)
 		}
-		if s.DrainUs < s.drainFloorUs() {
+		if s.DrainUs < s.DrainFloorUs() {
 			t.Fatalf("seed %d: drain %dus below floor for %dus window", seed, s.DrainUs, s.DurationUs)
 		}
 		links := map[[2]int]bool{}

@@ -73,7 +73,7 @@ func shrinkCandidates(s Spec) []Spec {
 		add(c)
 	}
 	// Pull the drain down to its floor.
-	if s.DrainUs > s.drainFloorUs() {
+	if s.DrainUs > s.DrainFloorUs() {
 		c := s
 		c.DrainUs = 0
 		add(c)

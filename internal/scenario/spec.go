@@ -10,324 +10,19 @@
 // that minimizes a violating scenario into a replayable repro file
 // (`rlbsim -repro <file>`). FuzzScenario wires the generator into Go native
 // fuzzing by decoding corpus bytes into generator draws.
+//
+// The scenario type itself is the repo-wide canonical experiment spec
+// (internal/spec); this package generates, normalizes, shrinks, and replays
+// it, while internal/harness compiles it into runnable configs.
 package scenario
 
-import (
-	"fmt"
+import "github.com/rlb-project/rlb/internal/spec"
 
-	"github.com/rlb-project/rlb/internal/harness"
-	"github.com/rlb-project/rlb/internal/sim"
-	"github.com/rlb-project/rlb/internal/topo"
-	"github.com/rlb-project/rlb/internal/units"
-	"github.com/rlb-project/rlb/internal/workload"
-)
+// Spec is the canonical experiment spec. The generator stays within
+// spec.Spec.Normalize's fuzz envelope; repro files and fuzz corpus entries
+// serialize this shared type directly, so a spec the fuzzer shrinks is the
+// same document `rlbsim -spec` and the figure grids consume.
+type Spec = spec.Spec
 
-// Spec fully describes one scenario. Every field is plain data (integers,
-// strings) so a spec serializes to JSON, diffs cleanly in a shrink log, and
-// replays bit-identically from a repro file. Durations are microseconds and
-// sizes kilobytes/percent — integral units shrink and clamp without float
-// drift.
-type Spec struct {
-	// GenSeed is the generator seed that produced this spec (0 when the
-	// spec was decoded from fuzz corpus bytes). Informational: replay uses
-	// the spec fields themselves, never the seed.
-	GenSeed uint64 `json:"genSeed"`
-	// SimSeed seeds the simulation (harness.RunConfig.Seed).
-	SimSeed uint64 `json:"simSeed"`
-
-	Leaves       int `json:"leaves"`
-	Spines       int `json:"spines"`
-	HostsPerLeaf int `json:"hostsPerLeaf"`
-	// LinkGbps is the symmetric link rate; switch thresholds are rescaled
-	// from the paper's 40 Gb/s settings exactly as harness.Scale does.
-	LinkGbps int `json:"linkGbps"`
-	// AsymPct downgrades that percentage of leaf-spine links to quarter
-	// rate (§4.2's static asymmetry). 0 = symmetric.
-	AsymPct int `json:"asymPct,omitempty"`
-
-	// Scheme is a harness scheme name ("drill", "presto+rlb", ...).
-	Scheme string `json:"scheme"`
-	// Workload is a workload.ByName distribution name.
-	Workload string `json:"workload"`
-	// LoadPct is the offered load as a percent of host line rate.
-	LoadPct int `json:"loadPct"`
-	// MaxFlowKB truncates sampled flow sizes (kB) so elephants finish
-	// within the window.
-	MaxFlowKB int `json:"maxFlowKB"`
-
-	// DurationUs is the traffic window; DrainUs the extra time for
-	// in-flight flows (and post-fault retransmissions) to finish. Normalize
-	// keeps DrainUs above a floor derived from DurationUs so the
-	// completion property stays meaningful.
-	DurationUs int `json:"durationUs"`
-	DrainUs    int `json:"drainUs"`
-
-	// Incast fields describe one synchronized fan-in (§4.3) injected at
-	// IncastAtUs: IncastDegree servers each send IncastKB/degree to
-	// IncastClient. IncastDegree < 2 means no incast.
-	IncastDegree int `json:"incastDegree,omitempty"`
-	IncastKB     int `json:"incastKB,omitempty"`
-	IncastAtUs   int `json:"incastAtUs,omitempty"`
-	IncastClient int `json:"incastClient,omitempty"`
-
-	// Faults is the fault schedule; every window restores what it broke
-	// before the traffic window ends, so fault-free-at-end properties
-	// (completion, no blackholes) hold for every generated spec.
-	Faults []FaultSpec `json:"faults,omitempty"`
-
-	// LeakPutEvery is deliberate fault injection for the seeded-breach
-	// meta-test: every Nth packet returned to the pool is silently leaked
-	// (fabric.Pool.LeakEvery), which the strict packet-pool conservation
-	// invariant must catch. The generator never sets it; it serializes so
-	// a breach repro file replays the breach.
-	LeakPutEvery int `json:"leakPutEvery,omitempty"`
-}
-
-// FaultSpec is one restore-guaranteed fault window on leaf-spine link
-// (Leaf, Spine): a kill window (RateDiv <= 1) cutting the link from DownAtUs
-// to UpAtUs, or a degrade window (RateDiv > 1) running it at LinkRate/RateDiv
-// over the same span.
-type FaultSpec struct {
-	Leaf     int `json:"leaf"`
-	Spine    int `json:"spine"`
-	DownAtUs int `json:"downAtUs"`
-	UpAtUs   int `json:"upAtUs"`
-	RateDiv  int `json:"rateDiv,omitempty"`
-}
-
-// Kill reports whether the window cuts the link (vs. degrading it).
-func (f FaultSpec) Kill() bool { return f.RateDiv <= 1 }
-
-// usTime converts integral microseconds to sim.Time.
-func usTime(us int) sim.Time { return sim.Time(us) * sim.Microsecond }
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// drainFloorUs is the minimum drain that makes the flows-complete property
-// sound rather than a tuning assumption: a flow that has not finished by
-// then is stuck, not slow. Two parts:
-//
-//   - a time base: three more traffic windows plus 2 ms, covering PFC
-//     backlog draining and several go-back-N RTO cycles (the transport
-//     default is 400 µs) after a restored kill window;
-//   - a capacity term: the worst case is every byte crossing one
-//     quarter-rate link (static asymmetry and degrade windows both floor at
-//     LinkRate/4, and hashing can pile all flows onto it), so budget the
-//     per-flow cap, the window's offered bytes, and the incast — each with
-//     margin for Poisson overshoot, DCQCN ramp-up, and retransmissions —
-//     across a LinkGbps/4 bottleneck. Long drains are nearly free: once
-//     flows finish, only periodic timers tick.
-//
-// Fields are read post-clamp, so LinkGbps >= 5.
-func (s Spec) drainFloorUs() int {
-	hosts := s.Leaves * s.HostsPerLeaf
-	// Offered bytes over the window, in KB: LoadPct% of line rate per host.
-	genKB := s.LoadPct * hosts * s.LinkGbps * s.DurationUs / 800
-	slowKB := 4*s.MaxFlowKB + 3*genKB + 2*s.IncastKB
-	// A quarter-rate link moves LinkGbps/32 KB per microsecond.
-	return 3*s.DurationUs + 2000 + 32*slowKB/s.LinkGbps
-}
-
-// Normalize clamps every field into the envelope the property suite is
-// calibrated for and repairs inconsistencies (fault addresses outside the
-// fabric, unordered windows, duplicate links, impossible incasts). Both the
-// generator and the byte decoder emit normalized specs, and the shrinker
-// re-normalizes every candidate, so all specs that reach the runner satisfy
-// the same invariants: PFC on, every fault restored before the window ends,
-// drain above the completion floor.
-func (s Spec) Normalize() Spec {
-	s.Leaves = clampInt(s.Leaves, 2, 4)
-	s.Spines = clampInt(s.Spines, 2, 6)
-	s.HostsPerLeaf = clampInt(s.HostsPerLeaf, 1, 4)
-	s.LinkGbps = clampInt(s.LinkGbps, 5, 40)
-	s.AsymPct = clampInt(s.AsymPct, 0, 50)
-	if _, err := harness.SchemeByName(s.Scheme, 2*sim.Microsecond, nil); err != nil {
-		s.Scheme = "ecmp"
-	}
-	if _, err := workload.ByName(s.Workload); err != nil {
-		s.Workload = "webserver"
-	}
-	s.LoadPct = clampInt(s.LoadPct, 5, 50)
-	s.MaxFlowKB = clampInt(s.MaxFlowKB, 10, 1000)
-	s.DurationUs = clampInt(s.DurationUs, 50, 800)
-
-	hosts := s.Leaves * s.HostsPerLeaf
-	if s.IncastDegree < 2 || hosts-1 < 2 {
-		s.IncastDegree, s.IncastKB, s.IncastAtUs, s.IncastClient = 0, 0, 0, 0
-	} else {
-		s.IncastDegree = clampInt(s.IncastDegree, 2, minInt(6, hosts-1))
-		s.IncastKB = clampInt(s.IncastKB, 4, 64)
-		s.IncastAtUs = clampInt(s.IncastAtUs, 0, s.DurationUs)
-		s.IncastClient = clampInt(s.IncastClient, 0, hosts-1)
-	}
-
-	// The drain floor reads the clamped dims/load/caps above, so it comes last.
-	if floor := s.drainFloorUs(); s.DrainUs < floor {
-		s.DrainUs = floor
-	}
-
-	// Faults: clamp addresses, keep at most one window per link (overlapping
-	// windows on one link could re-kill it after its restore and leave it
-	// down at end of run), and force DownAt < UpAt <= Duration so every
-	// break is repaired inside the traffic window.
-	var faults []FaultSpec
-	seen := make(map[[2]int]bool)
-	for _, f := range s.Faults {
-		if len(faults) == 3 {
-			break
-		}
-		f.Leaf = clampInt(f.Leaf, 0, s.Leaves-1)
-		f.Spine = clampInt(f.Spine, 0, s.Spines-1)
-		key := [2]int{f.Leaf, f.Spine}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		f.DownAtUs = clampInt(f.DownAtUs, s.DurationUs/8, s.DurationUs-s.DurationUs/8)
-		f.UpAtUs = clampInt(f.UpAtUs, f.DownAtUs+1, s.DurationUs)
-		if f.RateDiv != 0 {
-			f.RateDiv = clampInt(f.RateDiv, 1, 8)
-		}
-		faults = append(faults, f)
-	}
-	s.Faults = faults
-
-	if s.LeakPutEvery < 0 {
-		s.LeakPutEvery = 0
-	}
-	return s
-}
-
-// Params renders the spec as the one-line parameter summary attached to
-// every invariant violation (RunConfig.Context), so any failure in a log is
-// reproducible without the repro file.
-func (s Spec) Params() string {
-	out := fmt.Sprintf("scenario gen-seed=%d sim-seed=%d fabric=%dx%d/%d@%dG scheme=%s wl=%s load=%d%% cap=%dKB dur=%dus drain=%dus",
-		s.GenSeed, s.SimSeed, s.Leaves, s.Spines, s.HostsPerLeaf, s.LinkGbps,
-		s.Scheme, s.Workload, s.LoadPct, s.MaxFlowKB, s.DurationUs, s.DrainUs)
-	if s.AsymPct > 0 {
-		out += fmt.Sprintf(" asym=%d%%", s.AsymPct)
-	}
-	if s.IncastDegree >= 2 {
-		out += fmt.Sprintf(" incast=%dx%dKB@%dus->h%d", s.IncastDegree, s.IncastKB, s.IncastAtUs, s.IncastClient)
-	}
-	for _, f := range s.Faults {
-		kind := "kill"
-		if !f.Kill() {
-			kind = fmt.Sprintf("rate/%d", f.RateDiv)
-		}
-		out += fmt.Sprintf(" fault=%s(l%d,s%d,%d-%dus)", kind, f.Leaf, f.Spine, f.DownAtUs, f.UpAtUs)
-	}
-	if s.LeakPutEvery > 0 {
-		out += fmt.Sprintf(" leak-every=%d", s.LeakPutEvery)
-	}
-	return out
-}
-
-// scale bundles the spec's fabric dimensions the way the figure builders do,
-// reusing harness.Scale's threshold rescaling (PFC/ECN constants follow the
-// link rate so reduced fabrics still pause).
-func (s Spec) scale() harness.Scale {
-	return harness.Scale{
-		Name:         "scenario",
-		Leaves:       s.Leaves,
-		Spines:       s.Spines,
-		HostsPerLeaf: s.HostsPerLeaf,
-		LinkRate:     units.Bandwidth(s.LinkGbps) * units.Gbps,
-		LinkDelay:    2 * sim.Microsecond,
-		Duration:     usTime(s.DurationUs),
-		Drain:        usTime(s.DrainUs),
-		MaxFlowBytes: s.MaxFlowKB * 1000,
-	}
-}
-
-// ToFaults renders the restore-guaranteed windows as the topo fault schedule.
-func (s Spec) ToFaults() []topo.Fault {
-	rate := units.Bandwidth(s.LinkGbps) * units.Gbps
-	var fs []topo.Fault
-	for _, f := range s.Faults {
-		if f.Kill() {
-			fs = append(fs,
-				topo.Fault{At: usTime(f.DownAtUs), Kind: topo.LinkDown, Leaf: f.Leaf, Spine: f.Spine},
-				topo.Fault{At: usTime(f.UpAtUs), Kind: topo.LinkUp, Leaf: f.Leaf, Spine: f.Spine})
-		} else {
-			fs = append(fs,
-				topo.Fault{At: usTime(f.DownAtUs), Kind: topo.LinkRate, Leaf: f.Leaf, Spine: f.Spine, Rate: rate / units.Bandwidth(f.RateDiv)},
-				topo.Fault{At: usTime(f.UpAtUs), Kind: topo.LinkRate, Leaf: f.Leaf, Spine: f.Spine, Rate: rate})
-		}
-	}
-	return fs
-}
-
-// RunConfig builds the harness config for one property-suite run of this
-// spec under the given event scheduler. Strict invariants are always on
-// (the property suite is the consumer of their audits), the network is
-// retained for flow-level fingerprinting, and the violation context carries
-// the full generator parameter set.
-func (s Spec) RunConfig(kind sim.SchedulerKind) harness.RunConfig {
-	sc := s.scale()
-	p := sc.TopoParams()
-	if s.AsymPct > 0 {
-		p.AsymFraction = float64(s.AsymPct) / 100
-		p.AsymRate = sc.LinkRate / 4
-	}
-	harness.MustScheme(s.Scheme, sc.LinkDelay, nil).Apply(&p)
-	p.Scheduler = kind
-
-	dist, err := workload.ByName(s.Workload)
-	if err != nil {
-		panic(err) // Normalize guarantees a known workload
-	}
-
-	spec := s // captured by the inject hook below
-	var inject func(n *topo.Network)
-	if spec.LeakPutEvery > 0 || spec.IncastDegree >= 2 {
-		inject = func(n *topo.Network) {
-			if spec.LeakPutEvery > 0 {
-				n.PacketPool().LeakEvery = spec.LeakPutEvery
-			}
-			if spec.IncastDegree >= 2 {
-				var servers []int
-				hosts := spec.Leaves * spec.HostsPerLeaf
-				for h := 0; h < hosts && len(servers) < spec.IncastDegree; h++ {
-					if h != spec.IncastClient {
-						servers = append(servers, h)
-					}
-				}
-				n.Eng.At(usTime(spec.IncastAtUs), func() {
-					workload.Incast(n.Starter(), spec.IncastClient, servers, spec.IncastKB*1000)
-				})
-			}
-		}
-	}
-
-	return harness.RunConfig{
-		Topo:             p,
-		Workload:         dist,
-		Load:             float64(s.LoadPct) / 100,
-		MaxFlowBytes:     sc.MaxFlowBytes,
-		Duration:         sc.Duration,
-		Drain:            sc.Drain,
-		Inject:           inject,
-		Faults:           s.ToFaults(),
-		KeepNetwork:      true,
-		StrictInvariants: true,
-		Context:          s.Params(),
-		Seed:             s.SimSeed,
-	}
-}
+// FaultSpec is one restore-guaranteed fault window (see spec.FaultSpec).
+type FaultSpec = spec.FaultSpec

@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Encode renders the spec in the canonical on-disk form: two-space indented
+// JSON with a trailing newline. Encode(Decode(Encode(s))) is byte-identical
+// to Encode(s) — the round-trip tests pin it — so specs diff cleanly under
+// version control and a re-saved artifact never churns.
+func Encode(s Spec) ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a canonical spec document. Unknown fields are rejected: a
+// typo'd knob in a hand-edited spec must fail loudly, not silently fall back
+// to a default and run a different experiment than the author intended.
+func Decode(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("spec: decode: %w", err)
+	}
+	// Reject trailing garbage (a second JSON document, say) for the same
+	// fail-loudly reason as unknown fields.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("spec: decode: trailing data after spec document")
+	}
+	return s, nil
+}
+
+// EncodeGrids renders a grid list in the same canonical form as Encode.
+func EncodeGrids(gs []Grid) ([]byte, error) {
+	data, err := json.MarshalIndent(gs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encode grids: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeGrids parses a grid list with the same strictness as Decode.
+func DecodeGrids(data []byte) ([]Grid, error) {
+	var gs []Grid
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&gs); err != nil {
+		return nil, fmt.Errorf("spec: decode grids: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: decode grids: trailing data after grid document")
+	}
+	return gs, nil
+}

@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/rlb-project/rlb/internal/rng"
 )
@@ -176,11 +177,25 @@ func ByName(name string) (*SizeDist, error) {
 	case "cachefollower":
 		return CacheFollower(), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown distribution %q", name)
+		return nil, fmt.Errorf("workload: unknown distribution %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
 	}
 }
 
 // All returns the four paper workloads in presentation order.
 func All() []*SizeDist {
 	return []*SizeDist{WebServer(), CacheFollower(), WebSearch(), DataMining()}
+}
+
+// Names returns the valid distribution names in presentation order (the same
+// order as All). Order is part of the scenario fuzz-corpus format: the
+// generator indexes into this list, so reordering would silently
+// re-interpret committed corpus entries.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, d := range all {
+		names[i] = d.Name
+	}
+	return names
 }

@@ -6,7 +6,11 @@
 #                    unitsafe; see TESTING.md "Static analysis tier")
 #   3. race smoke  — -race -short over the simulator internals
 #   4. full suite  — bench-smoke perf gate + all tests incl. golden figures
-#   5. fuzz smoke  — metamorphic scenario sweep + seeded-breach meta-test +
+#   5. spec verify — canonical-spec contracts: byte-stable JSON round trips,
+#                    compiler/Scale threshold agreement, figure-grid golden,
+#                    committed corpus + repro fixture decode (TESTING.md
+#                    "Spec round-trip tier")
+#   6. fuzz smoke  — metamorphic scenario sweep + seeded-breach meta-test +
 #                    time-boxed mutating fuzz over the committed corpus
 #
 # Each tier only runs if the previous one passed, so a compile error is not
@@ -32,6 +36,12 @@ echo "==> race smoke (-race -short)"
 echo "==> full suite (perf smoke + tests + golden figures)"
 make bench-smoke
 "$GO" test ./...
+
+# The spec tests also ran inside `go test ./...`; the dedicated tier re-runs
+# them uncached (-count=1) so a cached pass can never mask a drifted golden
+# or corpus file, and so the tier is meaningful standalone.
+echo "==> spec verify (round trips, compiler math, grid golden, corpus)"
+make spec-verify
 
 # The deterministic halves of the fuzz tier (sweep + meta-test) already ran
 # inside `go test ./...`; re-running them here is cheap and keeps the tier
