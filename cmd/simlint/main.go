@@ -1,12 +1,22 @@
 // Command simlint runs the repository's static simulation-discipline suite
-// (internal/analysis): determinism, poolcheck, timercheck, and unitsafe.
+// (internal/analysis): determinism, poolcheck, timercheck, unitsafe,
+// hotpath, and exhaustive. The suite is interprocedural — a module-wide
+// call graph with interface devirtualization feeds hot-path reachability
+// and bottom-up packet-ownership summaries — so run it over the whole
+// module (./...) for full-precision results; narrowing the argument list
+// narrows where findings are *reported*, while facts still flow in from the
+// requested packages' in-tree dependencies.
 //
 // Usage:
 //
 //	simlint ./...          # whole module (from anywhere inside it)
 //	simlint ./internal/lb  # specific directories
+//	simlint -json ./...    # one JSON object per finding (JSON Lines)
 //
 // Findings print as file:line:col: analyzer: message and exit status 1.
+// With -json each finding is instead one {"analyzer","file","line","col",
+// "message"} object per line on stdout, for CI artifacts and tooling; exit
+// status semantics are unchanged.
 // Suppress a justified finding with an annotation on the same line or the
 // line above (the reason is mandatory):
 //
@@ -26,8 +36,9 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "print findings as JSON Lines (one object per finding)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [./... | dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-json] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,8 +69,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(diags) > 0 {
+	if *jsonOut {
+		if err := analysis.PrintJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else if len(diags) > 0 {
 		analysis.Print(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}

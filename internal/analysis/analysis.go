@@ -27,7 +27,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // Package is one loaded, type-checked package.
@@ -59,7 +58,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	diags    *[]Diagnostic
+	// Mod is the interprocedural scope this package was analyzed in. It is
+	// never nil: single-package runs get a module containing just that
+	// package (and see only intra-package facts).
+	Mod   *Module
+	diags *[]Diagnostic
 }
 
 // Diagnostic is one finding.
@@ -92,31 +95,13 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Pkg.Info.ObjectOf(id)
 }
 
-// RunAnalyzers executes the analyzers over pkg and returns the surviving
-// findings: raw analyzer findings minus those suppressed by a valid
+// RunAnalyzers executes the analyzers over pkg alone and returns the
+// surviving findings: raw analyzer findings minus those suppressed by a valid
 // //simlint:allow annotation, plus one finding per malformed annotation.
-// The result is sorted by position.
+// The result is sorted by position. Interprocedural analyzers see a module
+// containing only pkg; use Module.Analyze to give them a wider scope.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
-		a.Run(pass)
-	}
-	out := applyAllows(pkg, analyzers, raw)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
-	return out
+	return NewModule([]*Package{pkg}).Analyze(pkg, analyzers)
 }
 
 // pathHasSuffix reports whether import path p is exactly suffix or ends with

@@ -40,43 +40,65 @@ var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 // against the fixture's want comments.
 func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	RunMulti(t, srcRoot, []string{pkgPath}, analyzers...)
+}
+
+// RunMulti is Run over several fixture packages analyzed together: every
+// listed package (plus any fixture packages they import) joins one
+// interprocedural module, so cross-package facts — a sink helper in one
+// package consuming packets for a caller in another, a handler in one
+// package making a helper in another hot — hold exactly as they do in real
+// module-wide runs. Findings are checked against the want comments of every
+// listed package.
+func RunMulti(t *testing.T, srcRoot string, pkgPaths []string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	ld := analysis.NewLoader(analysis.TreeResolver(srcRoot))
-	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
-	pkg, err := ld.Load(pkgPath, dir)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	pkgs := make([]*analysis.Package, 0, len(pkgPaths))
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+		pkg, err := ld.Load(pkgPath, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
+	mod := analysis.NewModule(ld.Loaded())
 
 	var wants []*want
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				// The marker may open the comment ("// want ...") or be
-				// embedded after other directive text ("//simlint:allow(x)
-				// want ..." — asserting on the annotation's own line).
-				text := "// " + strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				i := strings.Index(text, "// want ")
-				if i < 0 {
-					continue
-				}
-				rest := text[i+len("// want "):]
-				pos := pkg.Fset.Position(c.Pos())
-				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
-					expr := m[1]
-					if m[2] != "" {
-						expr = m[2]
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					// The marker may open the comment ("// want ...") or be
+					// embedded after other directive text ("//simlint:allow(x)
+					// want ..." — asserting on the annotation's own line).
+					text := "// " + strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					i := strings.Index(text, "// want ")
+					if i < 0 {
+						continue
 					}
-					re, err := regexp.Compile(expr)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					rest := text[i+len("// want "):]
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+						expr := m[1]
+						if m[2] != "" {
+							expr = m[2]
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 				}
 			}
 		}
 	}
 
-	diags := analysis.RunAnalyzers(pkg, analyzers)
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, mod.Analyze(pkg, analyzers)...)
+	}
 	for _, d := range diags {
 		if !claim(wants, d.Pos, d.Analyzer+": "+d.Message) && !claim(wants, d.Pos, d.Message) {
 			t.Errorf("unexpected finding at %s", d)

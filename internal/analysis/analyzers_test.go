@@ -31,6 +31,36 @@ func TestPoolcheckExemptInsideFabric(t *testing.T) {
 	analysistest.Run(t, src, "poolfix.example/internal/fabric", analysis.Poolcheck)
 }
 
+// TestPoolcheckCrossPackage seeds leaks that are only visible
+// interprocedurally: the callers live in poolfix.example/internal/transport
+// and the ownership facts (Stash owns, Inspect borrows) are inferred from
+// helper bodies in poolfix.example/internal/core — there is no whitelist for
+// the summaries to fall back on.
+func TestPoolcheckCrossPackage(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.RunMulti(t, src, []string{
+		"poolfix.example/internal/transport",
+		"poolfix.example/internal/core",
+	}, analysis.Poolcheck)
+}
+
+// TestHotpathFixture proves the hotpath analyzer can fail: every seeded
+// allocation sits in a function reachable from the fixture Handler's OnEvent
+// (some only through interface devirtualization), while identical
+// allocations in cold constructors stay silent.
+func TestHotpathFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "hotfix.example/internal/switchsim", analysis.Hotpath)
+}
+
+// TestExhaustiveFixture proves the exhaustive analyzer can fail: switches
+// and a map literal dispatch over the fixture scheme/workload registries
+// with one registered name missing each.
+func TestExhaustiveFixture(t *testing.T) {
+	src := analysistest.Fixture(".")
+	analysistest.Run(t, src, "exhaustfix.example/internal/harness", analysis.Exhaustive)
+}
+
 func TestTimercheckFixture(t *testing.T) {
 	src := analysistest.Fixture(".")
 	analysistest.Run(t, src, "timerfix.example/internal/transport", analysis.Timercheck)

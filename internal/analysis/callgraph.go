@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callGraph is a module-wide static call graph over every function and
+// function literal in the analysis scope. Edges come from four sources:
+// direct calls to declared functions, concrete method calls, interface
+// method calls devirtualized to every in-scope implementation (the
+// interfaces that matter here — sim.Handler, the scheduler interface,
+// switchsim.Router, fabric.Device, the lb decision interfaces — are all
+// small and closed within the module, so devirtualization is precise), and
+// calls through local variables bound to function literals. Function values
+// stored in struct fields or passed as arguments are not traced; the tree's
+// conventions (typed events instead of callbacks on the hot path) make that
+// the cold-path case.
+type callGraph struct {
+	mod *Module
+
+	// nodes, keyed by the function's declaration node (*ast.FuncDecl or
+	// *ast.FuncLit).
+	nodes map[ast.Node]*cgNode
+	// byFunc maps a declared function or method object to its node.
+	byFunc map[*types.Func]*cgNode
+
+	// implCache memoizes devirtualization: interface method -> concrete
+	// implementing methods, keyed by interface type and method name.
+	implCache map[implKey][]*types.Func
+
+	// hotPred memoizes the event hot set: for every function reachable from
+	// a sim.Handler.OnEvent implementation, its BFS predecessor on a
+	// shortest path from a root (roots map to nil).
+	hotPred  map[*cgNode]*cgNode
+	hotBuilt bool
+}
+
+// hotSet returns the memoized OnEvent reachability map.
+func (cg *callGraph) hotSet() map[*cgNode]*cgNode {
+	if !cg.hotBuilt {
+		cg.hotPred = cg.reachableFrom(cg.handlerRoots())
+		cg.hotBuilt = true
+	}
+	return cg.hotPred
+}
+
+// cgNode is one function (declared or literal) in the call graph.
+type cgNode struct {
+	// fn is the declared function object; nil for function literals.
+	fn *types.Func
+	// lit is the literal; nil for declared functions.
+	lit *ast.FuncLit
+	// decl is the declaration; nil for literals.
+	decl *ast.FuncDecl
+	pkg  *Package
+	body *ast.BlockStmt
+
+	// callees are the resolved outgoing edges, deduplicated, in source
+	// order of first occurrence.
+	callees []*cgNode
+
+	// scc is the index of this node's strongly connected component in
+	// reverse topological order (callees' SCCs are numbered <= the
+	// caller's, with equality exactly within a cycle).
+	scc int
+}
+
+// name renders a human-readable function name for traces:
+// "(*Switch).OnEvent", "Release", or "func literal in (*Switch).OnEvent".
+func (n *cgNode) name() string {
+	if n.fn != nil {
+		sig := n.fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				return "(*" + typeBaseName(ptr.Elem()) + ")." + n.fn.Name()
+			}
+			return "(" + typeBaseName(t) + ")." + n.fn.Name()
+		}
+		return n.fn.Name()
+	}
+	return "func literal"
+}
+
+func typeBaseName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+type implKey struct {
+	iface  *types.Interface
+	method string
+}
+
+// buildCallGraph constructs the graph over every function in mod and runs
+// Tarjan's SCC algorithm so summaries can be computed bottom-up.
+func buildCallGraph(mod *Module) *callGraph {
+	cg := &callGraph{
+		mod:       mod,
+		nodes:     map[ast.Node]*cgNode{},
+		byFunc:    map[*types.Func]*cgNode{},
+		implCache: map[implKey][]*types.Func{},
+	}
+	// Pass 1: create a node per function declaration and literal.
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &cgNode{fn: fn, decl: fd, pkg: pkg, body: fd.Body}
+				cg.nodes[fd] = node
+				cg.byFunc[fn] = node
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						cg.nodes[lit] = &cgNode{lit: lit, pkg: pkg, body: lit.Body}
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Pass 2: edges.
+	for _, node := range cg.nodes {
+		cg.addEdges(node)
+	}
+	cg.condenseSCCs()
+	return cg
+}
+
+// addEdges walks node's body (excluding nested literal bodies, which are
+// their own nodes) resolving call sites to callee nodes.
+func (cg *callGraph) addEdges(node *cgNode) {
+	seen := map[*cgNode]bool{}
+	add := func(callee *cgNode) {
+		if callee != nil && !seen[callee] {
+			seen[callee] = true
+			node.callees = append(node.callees, callee)
+		}
+	}
+	// Local function-literal bindings: f := func() {...}; f() is an edge to
+	// the literal. A variable rebound to several literals edges to all.
+	litVars := litBindings(node.pkg, node.body)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != node.lit {
+				return false // nested literal: its own node walks its body
+			}
+		case *ast.CallExpr:
+			for _, callee := range cg.resolveCall(node.pkg, n, litVars) {
+				add(callee)
+			}
+		}
+		return true
+	}
+	ast.Inspect(node.body, walk)
+}
+
+// litBindings collects, within body, the local variables bound to function
+// literals: f := func(){...}, var f = func(){...}, f = func(){...}.
+func litBindings(pkg *Package, body *ast.BlockStmt) map[types.Object][]*ast.FuncLit {
+	out := map[types.Object][]*ast.FuncLit{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if obj := pkg.Info.ObjectOf(id); obj != nil {
+			out[obj] = append(out[obj], lit)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					bind(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resolveCall maps one call expression to its possible callee nodes:
+// a single node for direct and concrete-method calls, every implementing
+// method for an interface call, every bound literal for a local
+// function-variable call, and nil for calls the graph does not trace
+// (builtins, the standard library, function values from fields or
+// parameters).
+func (cg *callGraph) resolveCall(pkg *Package, call *ast.CallExpr, litVars map[types.Object][]*ast.FuncLit) []*cgNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.ObjectOf(fun)
+		switch obj := obj.(type) {
+		case *types.Func:
+			if n := cg.byFunc[obj]; n != nil {
+				return []*cgNode{n}
+			}
+		case *types.Var:
+			var out []*cgNode
+			for _, lit := range litVars[obj] {
+				if n := cg.nodes[lit]; n != nil {
+					out = append(out, n)
+				}
+			}
+			return out
+		}
+		return nil
+	case *ast.FuncLit:
+		// Immediately-invoked literal.
+		if n := cg.nodes[fun]; n != nil {
+			return []*cgNode{n}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return cg.implNodes(sel.Recv(), fun.Sel.Name)
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if n := cg.byFunc[fn]; n != nil {
+					return []*cgNode{n}
+				}
+			}
+			return nil
+		}
+		// Qualified call pkg.F(...) or method expression.
+		if fn, ok := pkg.Info.ObjectOf(fun.Sel).(*types.Func); ok {
+			if n := cg.byFunc[fn]; n != nil {
+				return []*cgNode{n}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// implNodes devirtualizes an interface method call: the callee set is the
+// method on every in-scope named type whose method set satisfies the
+// interface.
+func (cg *callGraph) implNodes(recv types.Type, method string) []*cgNode {
+	var out []*cgNode
+	for _, fn := range cg.implementers(recv, method) {
+		if n := cg.byFunc[fn]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// implementers returns the concrete methods implementing (iface, method)
+// across every named type declared in the module, memoized.
+func (cg *callGraph) implementers(recv types.Type, method string) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := implKey{iface: iface, method: method}
+	if got, ok := cg.implCache[key]; ok {
+		return got
+	}
+	seen := map[*types.Func]bool{}
+	var out []*types.Func
+	for _, pkg := range cg.mod.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			// The pointer method set is the superset; a type whose pointer
+			// satisfies the interface can be the dynamic value behind it.
+			ptr := types.NewPointer(named)
+			if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			sel := ms.Lookup(nil, method)
+			if sel == nil {
+				// Method may be unexported and defined in another package.
+				sel = ms.Lookup(tn.Pkg(), method)
+			}
+			if sel == nil {
+				continue
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok && !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return funcKey(out[i]) < funcKey(out[j]) })
+	cg.implCache[key] = out
+	return out
+}
+
+// funcKey is a stable sort key for a function object.
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	return pkg + "." + fn.FullName()
+}
+
+// condenseSCCs runs Tarjan's algorithm, assigning every node its strongly
+// connected component index in reverse topological order (a callee's SCC
+// index is <= its caller's, equal exactly inside a cycle), so a bottom-up
+// pass over components visits callees before callers.
+func (cg *callGraph) condenseSCCs() {
+	index := map[*cgNode]int{}
+	low := map[*cgNode]int{}
+	onStack := map[*cgNode]bool{}
+	var stack []*cgNode
+	next := 0
+	sccCount := 0
+
+	var strongconnect func(v *cgNode)
+	strongconnect = func(v *cgNode) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				w.scc = sccCount
+				if w == v {
+					break
+				}
+			}
+			sccCount++
+		}
+	}
+
+	// Deterministic iteration order: nodes sorted by position.
+	all := cg.sortedNodes()
+	for _, v := range all {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+}
+
+// sortedNodes returns every node ordered by package path then source
+// position — a deterministic traversal order for fixpoints and reports.
+func (cg *callGraph) sortedNodes() []*cgNode {
+	out := make([]*cgNode, 0, len(cg.nodes))
+	for _, n := range cg.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pkg.Path != out[j].pkg.Path {
+			return out[i].pkg.Path < out[j].pkg.Path
+		}
+		return out[i].body.Pos() < out[j].body.Pos()
+	})
+	return out
+}
+
+// handlerRoots returns the nodes implementing sim.Handler.OnEvent: every
+// OnEvent method on an in-scope type whose method set satisfies the Handler
+// interface of a package whose import path ends in internal/sim (suffix
+// matching admits the fixture stand-ins under testdata).
+func (cg *callGraph) handlerRoots() []*cgNode {
+	var roots []*cgNode
+	seen := map[*cgNode]bool{}
+	for _, pkg := range cg.mod.Pkgs {
+		if !pathHasSuffix(pkg.Path, "internal/sim") {
+			continue
+		}
+		obj, ok := pkg.Types.Scope().Lookup("Handler").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		if iface.NumMethods() == 0 {
+			continue
+		}
+		for _, fn := range cg.implementers(obj.Type(), "OnEvent") {
+			if n := cg.byFunc[fn]; n != nil && !seen[n] {
+				seen[n] = true
+				roots = append(roots, n)
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].pkg.Path != roots[j].pkg.Path {
+			return roots[i].pkg.Path < roots[j].pkg.Path
+		}
+		return roots[i].body.Pos() < roots[j].body.Pos()
+	})
+	return roots
+}
+
+// reachableFrom runs a breadth-first search from roots and returns, for each
+// reachable node, its predecessor on a shortest path from a root (roots map
+// to nil). Traces rendered from the predecessor chain explain *why* a
+// function is on the event hot path.
+func (cg *callGraph) reachableFrom(roots []*cgNode) map[*cgNode]*cgNode {
+	pred := map[*cgNode]*cgNode{}
+	queue := make([]*cgNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := pred[r]; !ok {
+			pred[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range v.callees {
+			if _, ok := pred[w]; !ok {
+				pred[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return pred
+}
+
+// trace renders the shortest root→node call chain, e.g.
+// "(*Switch).OnEvent → (*Switch).receiveData → (*leafRouter).Route".
+func trace(pred map[*cgNode]*cgNode, node *cgNode) string {
+	var chain []string
+	for n := node; n != nil; n = pred[n] {
+		chain = append(chain, n.name())
+		if pred[n] == nil {
+			break
+		}
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " → ")
+}

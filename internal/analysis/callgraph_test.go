@@ -1,0 +1,199 @@
+package analysis
+
+// White-box tests for the interprocedural layer: SCC condensation feeding
+// the bottom-up ownership fixpoint, and sim.Handler devirtualization seeding
+// the event hot set. Each test type-checks a tiny synthetic GOPATH tree so
+// the facts under test (mutual recursion, interface dispatch) are isolated
+// from the larger committed fixtures.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a GOPATH-style source tree in a temp dir and
+// returns a loader resolving against it.
+func writeTree(t *testing.T, files map[string]string) (*Loader, string) {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewLoader(TreeResolver(root)), root
+}
+
+func loadModule(t *testing.T, ld *Loader, root string, paths ...string) *Module {
+	t.Helper()
+	for _, p := range paths {
+		if _, err := ld.Load(p, filepath.Join(root, filepath.FromSlash(p))); err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+	}
+	return NewModule(ld.Loaded())
+}
+
+// findFunc locates the call-graph node whose rendered name matches.
+func findFunc(t *testing.T, cg *callGraph, name string) *cgNode {
+	t.Helper()
+	for _, n := range cg.sortedNodes() {
+		if n.fn != nil && n.name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+// TestSCCSummarization: Ping and Pong forward a pooled packet to each other
+// in a cycle; only Ping's base case releases it. The cycle must condense to
+// one SCC and the inner fixpoint must mark BOTH parameters as owned — a
+// single bottom-up visit without the fixpoint would leave Pong a borrower.
+// The Peek/Poke cycle reads only, so both stay borrowers.
+func TestSCCSummarization(t *testing.T) {
+	ld, root := writeTree(t, map[string]string{
+		"scc.example/internal/fabric/fabric.go": `package fabric
+
+type Packet struct{ Size int }
+
+var freed []*Packet
+
+func Release(p *Packet) { freed = append(freed, p) }
+`,
+		"scc.example/internal/transport/ring.go": `package transport
+
+import "scc.example/internal/fabric"
+
+func Ping(p *fabric.Packet, depth int) {
+	if depth == 0 {
+		fabric.Release(p)
+		return
+	}
+	Pong(p, depth-1)
+}
+
+func Pong(p *fabric.Packet, depth int) { Ping(p, depth) }
+
+func Peek(p *fabric.Packet, depth int) int {
+	if depth == 0 {
+		return p.Size
+	}
+	return Poke(p, depth-1)
+}
+
+func Poke(p *fabric.Packet, depth int) int { return Peek(p, depth) }
+`,
+	})
+	mod := loadModule(t, ld, root, "scc.example/internal/fabric", "scc.example/internal/transport")
+	cg := mod.CallGraph()
+	sums := mod.Summaries()
+
+	ping := findFunc(t, cg, "Ping")
+	pong := findFunc(t, cg, "Pong")
+	release := findFunc(t, cg, "Release")
+	peek := findFunc(t, cg, "Peek")
+	poke := findFunc(t, cg, "Poke")
+
+	if ping.scc != pong.scc {
+		t.Errorf("Ping (scc %d) and Pong (scc %d) are mutually recursive, want one SCC", ping.scc, pong.scc)
+	}
+	if peek.scc != poke.scc {
+		t.Errorf("Peek (scc %d) and Poke (scc %d) are mutually recursive, want one SCC", peek.scc, poke.scc)
+	}
+	if release.scc >= ping.scc {
+		t.Errorf("Release (scc %d) is a callee of Ping's cycle (scc %d): want strictly lower reverse-topological index", release.scc, ping.scc)
+	}
+
+	for _, tc := range []struct {
+		node *cgNode
+		own  bool
+	}{
+		{release, true}, {ping, true}, {pong, true}, {peek, false}, {poke, false},
+	} {
+		if got := sums.paramOwner(tc.node.fn, 0); got != tc.own {
+			t.Errorf("paramOwner(%s, 0) = %v, want %v", tc.node.name(), got, tc.own)
+		}
+	}
+}
+
+// TestHandlerDevirtualization: the only call to OnEvent is through the
+// sim.Handler interface, and the only call to route is through a local
+// router interface. Both edges must be devirtualized: OnEvent is a hot
+// root, helpers reached through the interfaces are hot, and the
+// never-called constructor is cold.
+func TestHandlerDevirtualization(t *testing.T) {
+	ld, root := writeTree(t, map[string]string{
+		"dev.example/internal/sim/sim.go": `package sim
+
+type EventArg struct{ U64 uint64 }
+
+type Handler interface{ OnEvent(arg EventArg) }
+
+type Engine struct{ hs []Handler }
+
+func (e *Engine) Dispatch(arg EventArg) {
+	for _, h := range e.hs {
+		h.OnEvent(arg)
+	}
+}
+`,
+		"dev.example/internal/switchsim/node.go": `package switchsim
+
+import "dev.example/internal/sim"
+
+type router interface{ route(i int) int }
+
+type leaf struct{ next int }
+
+func (l *leaf) route(i int) int { l.next = i; return i }
+
+type Node struct {
+	r router
+	n int
+}
+
+func NewNode() *Node { return &Node{r: &leaf{}} }
+
+func (nd *Node) OnEvent(arg sim.EventArg) { nd.n = nd.r.route(int(arg.U64)) }
+`,
+	})
+	mod := loadModule(t, ld, root, "dev.example/internal/sim", "dev.example/internal/switchsim")
+	cg := mod.CallGraph()
+
+	onEvent := findFunc(t, cg, "(*Node).OnEvent")
+	route := findFunc(t, cg, "(*leaf).route")
+	cold := findFunc(t, cg, "NewNode")
+	dispatch := findFunc(t, cg, "(*Engine).Dispatch")
+
+	roots := cg.handlerRoots()
+	if len(roots) != 1 || roots[0] != onEvent {
+		t.Fatalf("handlerRoots() = %v, want exactly [(*Node).OnEvent]", roots)
+	}
+	// Dispatch's h.OnEvent(arg) call must devirtualize to the concrete method.
+	found := false
+	for _, c := range dispatch.callees {
+		if c == onEvent {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Dispatch does not call (*Node).OnEvent through the Handler interface")
+	}
+
+	pred := cg.hotSet()
+	if _, hot := pred[route]; !hot {
+		t.Errorf("(*leaf).route is reachable from OnEvent through the router interface but is not in the hot set")
+	}
+	if _, hot := pred[cold]; hot {
+		t.Errorf("NewNode is never called from OnEvent but landed in the hot set")
+	}
+	if got, want := trace(pred, route), "(*Node).OnEvent → (*leaf).route"; got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}

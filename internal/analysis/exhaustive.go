@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// registry is one statically extracted name set a dispatch can drift from.
+type registry struct {
+	// kind labels the registry in messages: "scheme" or "workload".
+	kind string
+	// source describes where the names were extracted from.
+	source string
+	names  map[string]bool
+	sorted []string
+}
+
+// Exhaustive is the registry-drift analyzer: it statically extracts the
+// scheme and workload name registries — the BaseSchemes slice literal in
+// internal/spec and the SizeDist{Name: ...} literals in internal/workload —
+// and flags every switch statement or map literal that dispatches over one
+// of those registries while missing an entry. A dispatch "over" a registry
+// is one whose constant string labels overlap it in at least two names and
+// at least half the labels; presentation slices (FourSchemes and friends)
+// are not dispatches and are never matched. A default clause does not
+// excuse a missing case: registry-validating error paths live in default,
+// so a silently absorbed new scheme is exactly the drift this catches.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "switches and map literals dispatching over the scheme/workload " +
+		"name registries must cover every registered name",
+	Run: runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	regs := p.Mod.Registries()
+	if len(regs) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				labels, ok := switchLabels(p, n)
+				if ok {
+					checkDispatch(p, n.Pos(), "switch", labels, regs)
+				}
+			case *ast.CompositeLit:
+				labels, ok := mapKeyLabels(p, n)
+				if ok {
+					checkDispatch(p, n.Pos(), "map literal", labels, regs)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Registries extracts the module's name registries, memoized.
+func (m *Module) Registries() []registry {
+	if m.regBuilt {
+		return m.registries
+	}
+	m.regBuilt = true
+	if r, ok := extractSchemeRegistry(m); ok {
+		m.registries = append(m.registries, r)
+	}
+	if r, ok := extractWorkloadRegistry(m); ok {
+		m.registries = append(m.registries, r)
+	}
+	return m.registries
+}
+
+// extractSchemeRegistry finds the BaseSchemes = []string{...} declaration in
+// a package whose import path ends in internal/spec.
+func extractSchemeRegistry(m *Module) (registry, bool) {
+	for _, pkg := range m.Pkgs {
+		if !pathHasSuffix(pkg.Path, "internal/spec") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "BaseSchemes" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						r := registry{kind: "scheme", source: pkg.Path + ".BaseSchemes", names: map[string]bool{}}
+						for _, el := range cl.Elts {
+							if s, ok := constString(pkg, el); ok {
+								r.names[s] = true
+							}
+						}
+						if len(r.names) > 0 {
+							r.finish()
+							return r, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return registry{}, false
+}
+
+// extractWorkloadRegistry collects the Name: "..." fields of every SizeDist
+// composite literal in a package whose import path ends in internal/workload.
+func extractWorkloadRegistry(m *Module) (registry, bool) {
+	r := registry{kind: "workload", names: map[string]bool{}}
+	for _, pkg := range m.Pkgs {
+		if !pathHasSuffix(pkg.Path, "internal/workload") {
+			continue
+		}
+		if r.source == "" {
+			r.source = pkg.Path + " SizeDist literals"
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(cl)
+				if t == nil || !isNamed(t, "internal/workload", "SizeDist") {
+					return true
+				}
+				for _, el := range cl.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || key.Name != "Name" {
+						continue
+					}
+					if s, ok := constString(pkg, kv.Value); ok {
+						r.names[s] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(r.names) == 0 {
+		return registry{}, false
+	}
+	r.finish()
+	return r, true
+}
+
+func (r *registry) finish() {
+	r.sorted = make([]string, 0, len(r.names))
+	for n := range r.names {
+		r.sorted = append(r.sorted, n)
+	}
+	sort.Strings(r.sorted)
+}
+
+// switchLabels collects the constant string case labels of a string switch.
+// ok is false when the switch is not a plain string dispatch (no tag, or a
+// non-constant case expression the analysis cannot enumerate).
+func switchLabels(p *Pass, sw *ast.SwitchStmt) ([]string, bool) {
+	if sw.Tag == nil {
+		return nil, false
+	}
+	var labels []string
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range cc.List {
+			s, ok := constString(p.Pkg, e)
+			if !ok {
+				return nil, false
+			}
+			labels = append(labels, s)
+		}
+	}
+	return labels, len(labels) > 0
+}
+
+// mapKeyLabels collects the constant string keys of a map literal dispatch.
+func mapKeyLabels(p *Pass, cl *ast.CompositeLit) ([]string, bool) {
+	t := p.TypeOf(cl)
+	if t == nil {
+		return nil, false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil, false
+	}
+	var labels []string
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, false
+		}
+		s, ok := constString(p.Pkg, kv.Key)
+		if !ok {
+			return nil, false
+		}
+		labels = append(labels, s)
+	}
+	return labels, len(labels) > 0
+}
+
+// constString evaluates e as a constant string.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkDispatch matches one dispatch's labels against every registry and
+// reports the missing names of any registry the dispatch is "over".
+func checkDispatch(p *Pass, pos token.Pos, form string, labels []string, regs []registry) {
+	for _, r := range regs {
+		hits := 0
+		have := map[string]bool{}
+		for _, l := range labels {
+			if r.names[l] {
+				hits++
+				have[l] = true
+			}
+		}
+		// "Over" the registry: at least two registered names and at least
+		// half the labels — a lone registered name in an unrelated switch
+		// is coincidence, not dispatch.
+		if hits < 2 || hits*2 < len(labels) {
+			continue
+		}
+		var missing []string
+		for _, name := range r.sorted {
+			if !have[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		p.Reportf(pos, "%s dispatches over %s names but misses registered %s %s (registry: %s); add the case or route it explicitly",
+			form, r.kind, plural("name", len(missing)), quoteList(missing), r.source)
+	}
+}
+
+func plural(s string, n int) string {
+	if n == 1 {
+		return s
+	}
+	return s + "s"
+}
+
+func quoteList(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = `"` + n + `"`
+	}
+	return strings.Join(quoted, ", ")
+}

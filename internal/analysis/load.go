@@ -167,6 +167,20 @@ func (ld *Loader) load(path, dir string) (*Package, error) {
 	return &Package{Path: path, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// Loaded returns every in-tree package this loader has parsed and
+// type-checked so far (the requested packages plus their transitive in-tree
+// dependencies), sorted by import path. This is the analysis scope handed to
+// NewModule: interprocedural facts (call graph, ownership summaries) are
+// computed over exactly these packages.
+func (ld *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(ld.pkgs))
+	for _, pkg := range ld.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // FindModule walks up from dir to the enclosing go.mod and returns the module
 // root directory and module path.
 func FindModule(dir string) (root, modPath string, err error) {

@@ -20,9 +20,18 @@ var poolOwnerPackages = []string{
 // composite literals and new(fabric.Packet) outside internal/fabric — frames
 // must come from the per-simulation fabric.Pool so the conservation audit
 // sees them — and (b) functions in data-plane packages that own a pooled
-// *fabric.Packet (a parameter or a pool/constructor result that the function
-// consumes on some path) yet have a terminating path on which the packet is
-// neither released, forwarded, stored, nor returned: a leaked frame.
+// *fabric.Packet yet have a terminating path on which the packet is neither
+// released, forwarded, stored, nor returned: a leaked frame.
+//
+// Ownership and consumption are interprocedural, driven by the module's
+// bottom-up summaries (see summary.go) instead of a name whitelist: a
+// parameter is owned when this function's summary says so (it stores,
+// returns, or sends the packet, or hands it to a callee chain ending in a
+// real sink like Pool.put); a call discharges the obligation only when
+// every resolved callee owns the corresponding parameter. Handing a frame
+// to a read-only helper no longer counts as consuming it, so leaks through
+// borrowing helpers are findings in the caller, while a leak inside a
+// partially-consuming helper is reported once, in the helper itself.
 var Poolcheck = &Analyzer{
 	Name: "poolcheck",
 	Doc: "fabric.Packet must be constructed inside internal/fabric and " +
@@ -63,13 +72,14 @@ func runPoolcheck(p *Pass) {
 	if !owner {
 		return
 	}
+	sums := p.Mod.Summaries()
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkPacketLeaks(p, fd)
+			checkPacketLeaks(p, sums, fd)
 		}
 	}
 }
@@ -82,34 +92,39 @@ func isPacketPtr(t types.Type) bool {
 
 // checkPacketLeaks runs the per-function leak analysis: for every packet the
 // function owns, walk the body tracking whether the packet has been consumed
-// (passed to a call, returned, stored, or sent) and report terminating paths
-// that drop it. Loops and switches are treated optimistically (a consumption
-// anywhere inside counts), so the check under-reports rather than spamming.
+// (released, forwarded to an owning callee, returned, stored, or sent) and
+// report terminating paths that drop it. Loops and switches are treated
+// optimistically (a consumption anywhere inside counts), so the check
+// under-reports rather than spamming.
 //
 // Ownership is decided per candidate:
 //   - a variable built from a call returning *fabric.Packet (pool.Data,
 //     pool.Control, fabric.NewData, ...) is always owned from its
 //     definition onward;
-//   - a parameter is owned only when the function shows ownership evidence —
-//     it stores, returns, or sends the packet somewhere, or hands it to a
-//     consuming sink (Port.Enqueue, Device.Receive, SendControl,
-//     fabric.Release). Pure decision functions (lb.Chooser.Choose,
-//     Router.Route, Agent.Pick) lend the packet to helpers without owning
-//     it and are exempt.
-func checkPacketLeaks(p *Pass, fd *ast.FuncDecl) {
+//   - a parameter is owned exactly when the module summary infers it — the
+//     function stores, returns, or sends the packet somewhere, or hands it
+//     to a callee chain that does. Pure decision functions
+//     (lb.Chooser.Choose, Router.Route, Agent.Pick) borrow the packet and
+//     are exempt.
+func checkPacketLeaks(p *Pass, sums *summaries, fd *ast.FuncDecl) {
 	type candidate struct {
 		obj    types.Object
 		defPos token.Pos
-		param  bool
 	}
 	var cands []candidate
-	if fd.Type.Params != nil {
+	fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if fd.Type.Params != nil && fn != nil {
+		idx := 0
 		for _, field := range fd.Type.Params.List {
 			for _, name := range field.Names {
 				obj := p.ObjectOf(name)
-				if obj != nil && isPacketPtr(obj.Type()) {
-					cands = append(cands, candidate{obj: obj, defPos: fd.Body.Pos(), param: true})
+				if obj != nil && isPacketPtr(obj.Type()) && sums.paramOwner(fn, idx) {
+					cands = append(cands, candidate{obj: obj, defPos: fd.Body.Pos()})
 				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
 			}
 		}
 	}
@@ -132,10 +147,7 @@ func checkPacketLeaks(p *Pass, fd *ast.FuncDecl) {
 	})
 
 	for _, cand := range cands {
-		lc := &leakChecker{pass: p, obj: cand.obj, defPos: cand.defPos}
-		if cand.param && !lc.ownershipEvidence(fd.Body) {
-			continue
-		}
+		lc := &leakChecker{pass: p, sums: sums, obj: cand.obj, defPos: cand.defPos}
 		end := lc.walk(fd.Body.List, false)
 		if !end.terminated && !end.consumed {
 			p.Reportf(fd.Body.Rbrace, "function %s can fall through without releasing or forwarding %s; call fabric.Release on every terminating path", fd.Name.Name, cand.obj.Name())
@@ -143,94 +155,12 @@ func checkPacketLeaks(p *Pass, fd *ast.FuncDecl) {
 	}
 }
 
-// sinkNames are callee names that take ownership of a packet argument:
-// enqueueing it on a port, delivering it to a device, or returning it to the
-// pool. fabric.Release is matched by package as well.
-var sinkNames = map[string]bool{
-	"Enqueue": true, "Receive": true, "SendControl": true, "Release": true,
-}
-
 // leakChecker tracks one packet object through one function body.
 type leakChecker struct {
 	pass   *Pass
+	sums   *summaries
 	obj    types.Object
 	defPos token.Pos
-}
-
-// ownershipEvidence reports whether the function stores, returns, or sends
-// the packet, or passes it to a consuming sink — the signals that it owns
-// the frame rather than merely inspecting it.
-func (lc *leakChecker) ownershipEvidence(body ast.Node) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch m := n.(type) {
-		case *ast.CallExpr:
-			if !lc.isSinkCall(m) {
-				return true
-			}
-			for _, arg := range m.Args {
-				if lc.mentions(arg) {
-					found = true
-				}
-			}
-		case *ast.ReturnStmt:
-			// Only returning the packet itself transfers ownership;
-			// "return helper(pkt)" merely lends it for the call.
-			for _, r := range m.Results {
-				if lc.isBareObj(r) {
-					found = true
-				}
-			}
-		case *ast.AssignStmt:
-			// "x = pkt" / "x = &pkt" alias the packet into other state;
-			// "x = helper(pkt)" only lends it (composite literals holding
-			// the bare packet are caught by the CompositeLit case below).
-			for _, r := range m.Rhs {
-				if lc.isBareObj(r) {
-					found = true
-				}
-				if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.AND && lc.isBareObj(u.X) {
-					found = true
-				}
-			}
-		case *ast.CompositeLit:
-			for _, el := range m.Elts {
-				v := el
-				if kv, ok := el.(*ast.KeyValueExpr); ok {
-					v = kv.Value
-				}
-				if lc.isBareObj(v) {
-					found = true
-				}
-			}
-		case *ast.SendStmt:
-			if lc.mentions(m.Value) {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// isBareObj reports whether e is exactly the tracked packet identifier.
-func (lc *leakChecker) isBareObj(e ast.Expr) bool {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	return ok && lc.pass.ObjectOf(id) == lc.obj
-}
-
-// isSinkCall reports whether call invokes a packet-consuming sink.
-func (lc *leakChecker) isSinkCall(call *ast.CallExpr) bool {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.SelectorExpr:
-		return sinkNames[fun.Sel.Name]
-	case *ast.Ident:
-		return sinkNames[fun.Name]
-	}
-	return false
 }
 
 // flowState is the packet's state at a program point.
@@ -300,10 +230,11 @@ func (lc *leakChecker) walk(stmts []ast.Stmt, consumed bool) flowState {
 }
 
 // stmtConsumes reports whether any consuming use of the packet occurs inside
-// n. Consuming uses: appearing in a call's arguments, in a return, as an
-// assignment's right-hand side (storing/aliasing), in a composite literal, or
-// as a channel-send value. A bare method call on the packet or a field read
-// does not consume.
+// n. Consuming uses: appearing in an argument of a call that the module
+// summaries say takes ownership (or that cannot be resolved), in a return,
+// as an assignment's right-hand side (storing/aliasing), in a composite
+// literal, or as a channel-send value. A bare method call on the packet, a
+// field read, or handing the packet to a resolved borrower does not consume.
 func (lc *leakChecker) stmtConsumes(n ast.Node) bool {
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
@@ -312,8 +243,8 @@ func (lc *leakChecker) stmtConsumes(n ast.Node) bool {
 		}
 		switch m := m.(type) {
 		case *ast.CallExpr:
-			for _, arg := range m.Args {
-				if lc.mentions(arg) {
+			for i, arg := range m.Args {
+				if lc.mentions(arg) && lc.sums.callConsumes(lc.pass.Pkg, m, i) {
 					found = true
 				}
 			}
@@ -355,19 +286,7 @@ func (lc *leakChecker) exprConsumes(e ast.Expr) bool {
 // mentions reports whether the packet identifier appears anywhere in e except
 // as the receiver of a selector (pkt.Size reads, pkt.Foo() calls).
 func (lc *leakChecker) mentions(e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectorExpr); ok {
-			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && lc.pass.ObjectOf(id) == lc.obj {
-				return false // receiver position: a read, not a hand-off
-			}
-		}
-		if id, ok := n.(*ast.Ident); ok && lc.pass.ObjectOf(id) == lc.obj {
-			found = true
-		}
-		return !found
-	})
-	return found
+	return mentionsObj(lc.pass.Pkg, lc.obj, e)
 }
 
 // mentionsBare is mentions restricted to the whole expression being the

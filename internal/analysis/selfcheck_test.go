@@ -33,7 +33,7 @@ func TestTreeIsLintClean(t *testing.T) {
 // TestSuiteNamesAreStable pins the analyzer names: annotations in the tree
 // reference them, so renaming one silently orphans every //simlint:allow.
 func TestSuiteNamesAreStable(t *testing.T) {
-	want := []string{"determinism", "poolcheck", "timercheck", "unitsafe"}
+	want := []string{"determinism", "poolcheck", "timercheck", "unitsafe", "hotpath", "exhaustive"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

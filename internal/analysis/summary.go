@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// summaries hold the per-function packet-ownership facts poolcheck consumes:
+// for every declared function with *fabric.Packet parameters, whether each
+// packet parameter is *owned* (the function releases, stores, forwards, or
+// returns it — it is responsible for the frame's fate) or merely *borrowed*
+// (read-only: the function inspects the packet and hands the obligation
+// back to its caller).
+//
+// Summaries are computed bottom-up over the call graph's strongly connected
+// components as a monotone fixpoint (borrower is bottom; facts only ever
+// strengthen to owner), so ownership flows through helpers of any depth:
+// fabric.Release is an owner because Pool.put appends the frame to the free
+// list, Port.Enqueue because the queue stores it, Switch.Receive because
+// every path forwards into one of those — with no whitelist anywhere.
+//
+// The rules are deliberately asymmetric. Evidence that a function owns its
+// parameter is conservative: only a direct store/return/send/composite
+// capture, or passing the packet to a callee *known* to own it, counts —
+// calls the graph cannot resolve contribute nothing, so read-only decision
+// helpers (Chooser.Choose, Router.Route) stay borrowers. Discharge of a
+// caller's obligation is optimistic: handing the packet to an unresolved
+// call counts as consumption, so the checker under-reports instead of
+// spamming. A resolved call to a borrower discharges nothing — that is the
+// interprocedural teeth: leaking a frame through a logging helper is now a
+// finding in the caller.
+type summaries struct {
+	mod *Module
+	// owns[fn][i] reports that parameter i of fn is an owned *fabric.Packet.
+	owns map[*types.Func][]bool
+}
+
+// computeSummaries runs the bottom-up fixpoint over mod's call graph.
+func computeSummaries(mod *Module) *summaries {
+	cg := mod.CallGraph()
+	s := &summaries{mod: mod, owns: map[*types.Func][]bool{}}
+
+	// Candidates: declared functions with at least one packet parameter.
+	type cand struct {
+		node   *cgNode
+		params []*types.Var // all params; packet params checked by index
+	}
+	var cands []cand
+	for _, node := range cg.sortedNodes() {
+		if node.fn == nil {
+			continue
+		}
+		sig := node.fn.Type().(*types.Signature)
+		n := sig.Params().Len()
+		hasPacket := false
+		params := make([]*types.Var, n)
+		for i := 0; i < n; i++ {
+			params[i] = sig.Params().At(i)
+			if isPacketPtr(params[i].Type()) {
+				hasPacket = true
+			}
+		}
+		if !hasPacket {
+			continue
+		}
+		s.owns[node.fn] = make([]bool, n)
+		cands = append(cands, cand{node: node, params: params})
+	}
+
+	// Bottom-up: SCC indices are assigned in reverse topological order, so
+	// ascending order visits callees before callers; within a component the
+	// inner loop iterates to a fixpoint (cycles are rare and tiny here).
+	groups := map[int][]cand{}
+	maxSCC := -1
+	for _, c := range cands {
+		groups[c.node.scc] = append(groups[c.node.scc], c)
+		if c.node.scc > maxSCC {
+			maxSCC = c.node.scc
+		}
+	}
+	for sccIdx := 0; sccIdx <= maxSCC; sccIdx++ {
+		group := groups[sccIdx]
+		if len(group) == 0 {
+			continue
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, c := range group {
+				row := s.owns[c.node.fn]
+				for i, p := range c.params {
+					if row[i] || !isPacketPtr(p.Type()) {
+						continue
+					}
+					if s.ownershipEvidence(c.node, p) {
+						row[i] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// paramOwner reports whether parameter idx of fn is summarized as an owned
+// packet. Functions outside the scope (standard library, function values)
+// are unknown and return false.
+func (s *summaries) paramOwner(fn *types.Func, idx int) bool {
+	row, ok := s.owns[fn]
+	return ok && idx >= 0 && idx < len(row) && row[idx]
+}
+
+// ownershipEvidence reports whether node's body shows it owns obj: a bare
+// store, return, send, or composite capture of the packet, appending it to
+// a slice, or passing it to a call that resolves entirely to owners.
+func (s *summaries) ownershipEvidence(node *cgNode, obj types.Object) bool {
+	found := false
+	ast.Inspect(node.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			for i, arg := range m.Args {
+				if mentionsObj(node.pkg, obj, arg) && s.callIsOwnerEvidence(node.pkg, m, i) {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if isBareObj(node.pkg, obj, r) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range m.Rhs {
+				if isBareObj(node.pkg, obj, r) {
+					found = true
+				}
+				if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.AND && isBareObj(node.pkg, obj, u.X) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isBareObj(node.pkg, obj, v) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if mentionsObj(node.pkg, obj, m.Value) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callIsOwnerEvidence reports whether passing a packet as argument argIdx of
+// call is conservative proof of ownership: the builtin append stores it; a
+// call resolving to a non-empty set of callees, every one of which owns the
+// corresponding parameter, forwards it. Unresolved calls prove nothing.
+func (s *summaries) callIsOwnerEvidence(pkg *Package, call *ast.CallExpr, argIdx int) bool {
+	if isBuiltinCall(pkg, call, "append") {
+		return argIdx >= 1
+	}
+	fns, resolved := s.resolveCallees(pkg, call)
+	if !resolved || len(fns) == 0 {
+		return false
+	}
+	for _, fn := range fns {
+		if !s.paramOwner(fn, paramIndex(fn, argIdx)) {
+			return false
+		}
+	}
+	return true
+}
+
+// callConsumes reports whether passing a packet as argument argIdx of call
+// discharges the caller's obligation: optimistically yes, unless the call
+// resolves cleanly and at least one callee merely borrows that parameter.
+func (s *summaries) callConsumes(pkg *Package, call *ast.CallExpr, argIdx int) bool {
+	if isBuiltinCall(pkg, call, "append") {
+		return argIdx >= 1
+	}
+	fns, resolved := s.resolveCallees(pkg, call)
+	if !resolved || len(fns) == 0 {
+		return true
+	}
+	for _, fn := range fns {
+		if !s.paramOwner(fn, paramIndex(fn, argIdx)) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveCallees maps a call to the declared functions it may invoke:
+// direct calls, concrete method calls, qualified package functions, and
+// interface calls devirtualized over in-scope implementations. resolved is
+// false for anything else (builtins, function values, method expressions),
+// and for callees outside the module scope.
+func (s *summaries) resolveCallees(pkg *Package, call *ast.CallExpr) (fns []*types.Func, resolved bool) {
+	cg := s.mod.CallGraph()
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.ObjectOf(fun).(*types.Func); ok {
+			if _, inScope := cg.byFunc[fn]; inScope {
+				return []*types.Func{fn}, true
+			}
+		}
+		return nil, false
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				impls := cg.implementers(sel.Recv(), fun.Sel.Name)
+				for _, fn := range impls {
+					if _, inScope := cg.byFunc[fn]; !inScope {
+						return nil, false
+					}
+				}
+				return impls, len(impls) > 0
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if _, inScope := cg.byFunc[fn]; inScope {
+					return []*types.Func{fn}, true
+				}
+			}
+			return nil, false
+		}
+		if fn, ok := pkg.Info.ObjectOf(fun.Sel).(*types.Func); ok {
+			if _, inScope := cg.byFunc[fn]; inScope {
+				return []*types.Func{fn}, true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// paramIndex maps an argument position to the callee's parameter index,
+// folding variadic tails onto the last parameter; -1 when out of range.
+func paramIndex(fn *types.Func, argIdx int) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	n := sig.Params().Len()
+	if argIdx < n {
+		return argIdx
+	}
+	if sig.Variadic() && n > 0 {
+		return n - 1
+	}
+	return -1
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pkg.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// mentionsObj reports whether obj appears anywhere in e except as the
+// receiver of a selector (pkt.Size reads, pkt.Foo() calls — those do not
+// hand the reference off).
+func mentionsObj(pkg *Package, obj types.Object, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
+				return false // receiver position: a read, not a hand-off
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBareObj reports whether e is exactly the tracked identifier.
+func isBareObj(pkg *Package, obj types.Object, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pkg.Info.ObjectOf(id) == obj
+}

@@ -1,0 +1,78 @@
+// Package harness holds the exhaustive fixture's dispatch sites: switches
+// and map literals over the registries from ../spec and ../workload.
+package harness
+
+import (
+	"exhaustfix.example/internal/spec"
+	"exhaustfix.example/internal/workload"
+)
+
+var _ = spec.BaseSchemes
+var _ = workload.Web
+
+// Complete covers every registered scheme: no finding.
+func Complete(name string) int {
+	switch name {
+	case "alpha":
+		return 1
+	case "beta":
+		return 2
+	case "gamma":
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Partial misses gamma; the default clause does not excuse it.
+func Partial(name string) int {
+	switch name { // want `switch dispatches over scheme names but misses registered name "gamma"`
+	case "alpha":
+		return 1
+	case "beta":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// weights is a map-literal dispatch missing beta.
+var weights = map[string]int{ // want `map literal dispatches over scheme names but misses registered name "beta"`
+	"alpha": 1,
+	"gamma": 2,
+}
+
+// order is a presentation slice, not a dispatch: never matched.
+var order = []string{"alpha", "beta"}
+
+// Unrelated shares a single name with the registry: coincidence, not
+// dispatch.
+func Unrelated(s string) bool {
+	switch s {
+	case "alpha", "omega", "incast":
+		return true
+	}
+	return false
+}
+
+// ByWorkload misses the registered workload "data".
+func ByWorkload(name string) int {
+	switch name { // want `switch dispatches over workload names but misses registered name "data"`
+	case "web":
+		return 1
+	case "cache":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// AdaptiveOnly deliberately handles a subset, sanctioned by annotation.
+func AdaptiveOnly(name string) bool {
+	//simlint:allow(exhaustive) fixture: deliberately dispatches the adaptive subset only
+	switch name {
+	case "beta", "gamma":
+		return true
+	}
+	return false
+}

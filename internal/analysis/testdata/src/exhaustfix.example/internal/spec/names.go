@@ -1,0 +1,7 @@
+// Package spec is an exhaustive fixture standing in for the real spec
+// package: its import path ends in internal/spec, so BaseSchemes here is
+// the scheme registry.
+package spec
+
+// BaseSchemes is the fixture scheme registry.
+var BaseSchemes = []string{"alpha", "beta", "gamma"}

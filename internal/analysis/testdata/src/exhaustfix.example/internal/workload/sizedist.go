@@ -1,0 +1,18 @@
+// Package workload is an exhaustive fixture: the Name fields of its
+// SizeDist literals form the workload registry.
+package workload
+
+// SizeDist mirrors the real workload CDF type.
+type SizeDist struct {
+	Name  string
+	Sizes []int
+}
+
+// Web is one registered workload.
+func Web() *SizeDist { return &SizeDist{Name: "web"} }
+
+// Data is another.
+func Data() *SizeDist { return &SizeDist{Name: "data"} }
+
+// Cache is the third.
+func Cache() *SizeDist { return &SizeDist{Name: "cache"} }

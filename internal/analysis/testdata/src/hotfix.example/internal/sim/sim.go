@@ -1,0 +1,29 @@
+// Package sim is a hotpath fixture standing in for the real engine: its
+// import path ends in internal/sim, so its Handler interface defines the
+// hot-path roots.
+package sim
+
+// Time is the simulated clock.
+type Time int64
+
+// EventArg is the typed event payload.
+type EventArg struct {
+	Ptr any
+	U64 uint64
+}
+
+// Handler receives dispatched events; every implementation's OnEvent is a
+// hot-path root.
+type Handler interface {
+	OnEvent(EventArg)
+}
+
+// Engine schedules events.
+type Engine struct{ pending []Handler }
+
+// ScheduleAfter arms a timer for h.
+func (e *Engine) ScheduleAfter(d Time, h Handler, arg EventArg) {}
+
+// Defer runs f at the end of the current event (forces its closure to
+// escape).
+func (e *Engine) Defer(f func()) {}

@@ -1,0 +1,79 @@
+// Package switchsim is the hotpath fixture's data plane: a sim.Handler
+// implementation whose helpers — including one reached only through a
+// devirtualized interface call — carry seeded allocations.
+package switchsim
+
+import (
+	"fmt"
+
+	"hotfix.example/internal/sim"
+)
+
+// router is a small in-package interface: calls through it must be
+// devirtualized for the hot set to reach leaf.route.
+type router interface {
+	route(i int) int
+}
+
+// leaf is the only router implementation.
+type leaf struct{ tbl []int }
+
+// route is hot only via the devirtualized router call in dispatch.
+func (l *leaf) route(i int) int {
+	l.tbl = append(l.tbl, i) // want `append \(may grow the backing array\) in event hot path`
+	return i
+}
+
+// Node implements sim.Handler.
+type Node struct {
+	eng   *sim.Engine
+	r     router
+	stats []int
+	name  string
+}
+
+// OnEvent is a hot-path root.
+func (n *Node) OnEvent(arg sim.EventArg) {
+	n.process(int(arg.U64))
+	n.dispatch(arg)
+}
+
+// process is one call from the root: every allocation here is a finding.
+func (n *Node) process(v int) {
+	n.stats = append(n.stats, v) // want `append \(may grow the backing array\) in event hot path`
+	seen := make(map[int]bool)   // want `make\(...\) in event hot path`
+	seen[v] = true
+	pair := &struct{ a, b int }{v, v} // want `&composite literal \(heap allocation\) in event hot path`
+	_ = pair
+	label := n.name + "!" // want `string concatenation in event hot path`
+	_ = label
+	msg := fmt.Sprintf("v=%d", v) // want `fmt.Sprintf \(formats and boxes arguments\) in event hot path`
+	_ = msg
+
+	// A literal bound to a local and only ever called runs inline: exempt.
+	bump := func(d int) { v += d }
+	bump(1)
+	bump(2)
+
+	// Passing a literal somewhere forces closure allocation.
+	n.eng.Defer(func() { v = 0 }) // want `escaping function literal \(closure allocates\) in event hot path`
+
+	// The failure path may format: panic arguments are exempt.
+	if v < 0 {
+		panic(fmt.Sprintf("negative event value %d", v))
+	}
+
+	//simlint:allow(hotpath) fixture: amortized scratch growth, steady state reuses capacity
+	n.stats = append(n.stats, v+1)
+}
+
+// dispatch reaches leaf.route only through the interface.
+func (n *Node) dispatch(arg sim.EventArg) {
+	n.r.route(int(arg.U64))
+}
+
+// NewNode is construction-time code, unreachable from OnEvent: allocations
+// here are not findings.
+func NewNode(eng *sim.Engine) *Node {
+	return &Node{eng: eng, r: &leaf{}, stats: make([]int, 0, 64), name: "node"}
+}

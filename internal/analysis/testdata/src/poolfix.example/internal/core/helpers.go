@@ -1,0 +1,15 @@
+// Package core provides the cross-package helpers for the interprocedural
+// poolcheck fixtures: Stash owns its packet argument (it parks the frame in
+// package state), Inspect only borrows it. Neither appears on any
+// whitelist — their summaries are inferred from their bodies.
+package core
+
+import "poolfix.example/internal/fabric"
+
+var stash []*fabric.Packet
+
+// Stash takes ownership: the frame is stored.
+func Stash(p *fabric.Packet) { stash = append(stash, p) }
+
+// Inspect reads only: ownership stays with the caller.
+func Inspect(p *fabric.Packet) bool { return p.Size > 0 }

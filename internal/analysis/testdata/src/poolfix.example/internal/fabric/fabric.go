@@ -31,5 +31,10 @@ func (pl *Pool) Control(t int) *Packet {
 	return p
 }
 
+// released is the shared free list Release feeds; storing the frame is what
+// makes Release an owner under the interprocedural summaries, mirroring the
+// real fabric.Release -> Pool.put chain.
+var released []*Packet
+
 // Release returns a frame to its pool.
-func Release(p *Packet) {}
+func Release(p *Packet) { released = append(released, p) }

@@ -1,0 +1,47 @@
+// Package transport holds the cross-package poolcheck callers: ownership
+// facts must flow from poolfix.example/internal/core's helpers into the
+// leak analysis here, with no whitelist anywhere.
+package transport
+
+import (
+	"poolfix.example/internal/core"
+	"poolfix.example/internal/fabric"
+)
+
+// Node owns a pool.
+type Node struct{ pool *fabric.Pool }
+
+// LeakThroughBorrower hands the frame to a read-only helper and forgets it
+// on the quiet path: Inspect borrows, so the early return still drops the
+// frame. (The pre-interprocedural checker treated any call as consuming and
+// missed exactly this.)
+func (n *Node) LeakThroughBorrower(quiet bool) {
+	pkt := n.pool.Data(7, 100)
+	if core.Inspect(pkt) && quiet {
+		return // want `return drops pooled packet pkt`
+	}
+	core.Stash(pkt)
+}
+
+// OwnViaHelper's parameter is owned because Stash owns it on the far path —
+// the summary crosses the package boundary — so dropping it on the near
+// path is a finding.
+func (n *Node) OwnViaHelper(pkt *fabric.Packet, drop bool) {
+	if drop {
+		return // want `return drops pooled packet pkt`
+	}
+	core.Stash(pkt)
+}
+
+// BorrowOnly lends the packet to a borrower on every path: no ownership, no
+// obligation, no finding.
+func BorrowOnly(pkt *fabric.Packet) bool { return core.Inspect(pkt) }
+
+// CleanHandoff forwards to the owning helper on every path.
+func CleanHandoff(pkt *fabric.Packet, extra bool) {
+	if extra {
+		core.Stash(pkt)
+		return
+	}
+	core.Stash(pkt)
+}

@@ -145,10 +145,12 @@ func (p *Packet) Pooled() bool { return p.pool != nil }
 
 // NewData returns a data frame of the given wire size.
 func NewData(flow uint32, seq uint32, size int, src, dst int) *Packet {
+	//simlint:allow(hotpath) unpooled constructor: pooled runs take Pool.get instead; reached hot only as the nil-pool fallback
 	return &Packet{Type: Data, Prio: PrioData, Size: size, FlowID: flow, Seq: seq, SrcID: src, DstID: dst}
 }
 
 // NewControl returns a control frame of the given kind addressed dst.
 func NewControl(t PacketType, src, dst int) *Packet {
+	//simlint:allow(hotpath) unpooled constructor: pooled runs take Pool.get instead; reached hot only as the nil-pool fallback
 	return &Packet{Type: t, Prio: PrioControl, Size: ControlFrameSize, SrcID: src, DstID: dst}
 }

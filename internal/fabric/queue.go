@@ -18,6 +18,7 @@ func (q *packetFIFO) Bytes() int { return q.bytes }
 
 // Push appends a packet.
 func (q *packetFIFO) Push(p *Packet) {
+	//simlint:allow(hotpath) FIFO backing growth is amortized; Pop compacts in place and capacity is retained
 	q.buf = append(q.buf, p)
 	q.bytes += p.Size
 }

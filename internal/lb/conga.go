@@ -33,6 +33,7 @@ func (c *CONGA) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	now := v.Now()
 	fl := c.table[pkt.FlowID]
 	if fl == nil {
+		//simlint:allow(hotpath) one allocation per new flow, not per packet; flowlet table entries live for the flow's duration
 		fl = &flowlet{path: c.leastCongested(v, pkt, exclude)}
 		c.table[pkt.FlowID] = fl
 	} else if now-fl.lastSeen > c.Gap {

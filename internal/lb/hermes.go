@@ -59,6 +59,7 @@ func (h *Hermes) Name() string { return "hermes" }
 func (h *Hermes) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	st := h.flows[pkt.FlowID]
 	if st == nil {
+		//simlint:allow(hotpath) one allocation per new flow, not per packet; per-flow state lives for the flow's duration
 		st = &hermesFlow{}
 		h.flows[pkt.FlowID] = st
 	}

@@ -42,6 +42,7 @@ func (l *LetFlow) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	n := v.NumPaths()
 	fl := l.table[pkt.FlowID]
 	if fl == nil {
+		//simlint:allow(hotpath) one allocation per new flow, not per packet; flowlet table entries live for the flow's duration
 		fl = &flowlet{path: v.Rng().Intn(n)}
 		l.table[pkt.FlowID] = fl
 	} else if now-fl.lastSeen > l.Gap {

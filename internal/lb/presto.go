@@ -43,15 +43,27 @@ func (p *Presto) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	}
 	// With exclusions, keep round-robin spreading over the allowed subset
 	// instead of collapsing onto the first allowed neighbor — otherwise
-	// every diverted cell herds onto the same path.
-	var allowed []int
+	// every diverted cell herds onto the same path. Counting and walking
+	// the bitmask picks the k-th allowed path without building a slice:
+	// Choose runs per packet on the event hot path.
+	allowed := 0
 	for i := 0; i < n; i++ {
 		if !exclude.Has(i) {
-			allowed = append(allowed, i)
+			allowed++
 		}
 	}
-	if len(allowed) == 0 {
+	if allowed == 0 {
 		return (s + cell) % n
 	}
-	return allowed[(s+cell)%len(allowed)]
+	k := (s + cell) % allowed
+	for i := 0; i < n; i++ {
+		if exclude.Has(i) {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return (s + cell) % n
 }

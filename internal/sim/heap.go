@@ -14,6 +14,7 @@ func eventBefore(a, b *event) bool {
 // hot path, and shared between the standalone eventHeap and the calendar
 // queue's per-bucket mini-heaps and overflow heap.
 func heapPush(items []*event, ev *event) []*event {
+	//simlint:allow(hotpath) heap growth is amortized; buckets and the overflow heap retain capacity across events
 	items = append(items, ev)
 	siftUp(items, len(items)-1)
 	return items

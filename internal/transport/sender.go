@@ -170,12 +170,14 @@ func (s *sender) queueRtx(seq uint32) {
 		return
 	}
 	if s.rtxMark == nil {
+		//simlint:allow(hotpath) lazy one-time init on a sender's first loss; the loss-free steady state never reaches this
 		s.rtxMark = make(map[uint32]bool)
 	}
 	if s.rtxMark[seq] {
 		return
 	}
 	s.rtxMark[seq] = true
+	//simlint:allow(hotpath) retransmit queue grows only on loss events, not in the loss-free steady state
 	s.rtx = append(s.rtx, seq)
 }
 

@@ -3,7 +3,11 @@
 #
 #   1. build       — everything compiles
 #   2. lint        — go vet + simlint (determinism / poolcheck / timercheck /
-#                    unitsafe; see TESTING.md "Static analysis tier")
+#                    unitsafe / hotpath / exhaustive; see TESTING.md "Static
+#                    analysis tier"). Findings are also captured as a JSON
+#                    Lines artifact (simlint.jsonl under $CI_ARTIFACT_DIR,
+#                    default artifacts/) for tooling, even when the tier
+#                    fails.
 #   3. race smoke  — -race -short over the simulator internals
 #   4. full suite  — bench-smoke perf gate + all tests incl. golden figures
 #   5. spec verify — canonical-spec contracts: byte-stable JSON round trips,
@@ -26,6 +30,13 @@ echo "==> build"
 
 echo "==> lint (vet + simlint)"
 "$GO" vet ./...
+# Run simlint twice: the human-readable gate, plus a machine-readable JSON
+# Lines artifact. The JSON run goes first and is allowed to "fail" (findings
+# exit 1) so the artifact exists even when the gate below stops CI.
+ARTIFACT_DIR=${CI_ARTIFACT_DIR:-artifacts}
+mkdir -p "$ARTIFACT_DIR"
+"$GO" run ./cmd/simlint -json ./... > "$ARTIFACT_DIR/simlint.jsonl" || true
+echo "    simlint findings artifact: $ARTIFACT_DIR/simlint.jsonl"
 "$GO" run ./cmd/simlint ./...
 
 echo "==> race smoke (-race -short)"
