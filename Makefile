@@ -21,24 +21,25 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EngineDispatchTyped|PortPingPong' -benchtime 100x -benchmem ./internal/sim/ ./internal/fabric/
 
 # Regenerate the committed perf trajectory: run the tracked benchmarks and
-# join them against the PR-2 record (BENCH_PR2.json, the pre-calendar-queue
-# state) into BENCH_PR4.json. Figures run at 3 iterations to match how the
-# baseline was captured; the scale-tier and cancel/rollover benchmarks are
-# new in PR 4 and appear without a "before". See TESTING.md's Performance
-# section.
+# join them against the PR-4 record (BENCH_PR4.json, the built-in-map data
+# plane) into BENCH_PR9.json. Figures run at 3 iterations to match how the
+# baseline was captured; the flatmap micro-benchmarks are new in PR 9 and
+# appear without a "before". See TESTING.md's Performance section.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineScheduleRun|BenchmarkEngineDispatchTyped|BenchmarkEngineScheduleCancel|BenchmarkEngineBucketRollover' -benchmem ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFlatmapGet|BenchmarkFlatmapPutDelete|BenchmarkFlatmapStamps' -benchmem ./internal/flatmap/ ; \
 	  $(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . ; } \
-	| $(GO) run ./cmd/benchjson -baseline BENCH_PR2.json \
-		-note "after: calendar-queue scheduler + lazy timer cancellation" -out BENCH_PR4.json
-	@cat BENCH_PR4.json
+	| $(GO) run ./cmd/benchjson -baseline BENCH_PR4.json \
+		-note "after: open-addressed flow tables + dense stamp sets across the data plane" -out BENCH_PR9.json
+	@cat BENCH_PR9.json
 
 # Perf regression gate: rerun the figure and scale benchmarks and compare
-# events/sec against the committed BENCH_PR4.json with a ±10% tolerance.
-# Wall-clock sensitive, so CI only runs it when RLB_BENCH_GATE=1 (scripts/ci.sh).
+# events/sec against the committed BENCH_PR9.json with a ±10% tolerance.
+# Wall-clock sensitive; scripts/ci.sh runs it by default (RLB_BENCH_GATE=0
+# opts out on noisy or mismatched machines).
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . \
-	| $(GO) run ./cmd/benchjson -gate BENCH_PR4.json -tolerance 10
+	| $(GO) run ./cmd/benchjson -gate BENCH_PR9.json -tolerance 10
 
 # Fuzz tier (see TESTING.md "Fuzz tier"): the deterministic metamorphic
 # sweep (50 generated scenarios, every property checked, failures shrunk

@@ -23,6 +23,15 @@ import (
 //     bound to a local and only ever called runs inline and is exempt)
 //   - fmt calls and non-constant string concatenation (boxing/building)
 //
+// It also enforces the data plane's map discipline: built-in map indexing,
+// assignment, delete, and range in a hot function are flagged even though
+// they may not allocate. A built-in map access hashes with runtime calls
+// and chases buckets per packet, and map range order is where
+// nondeterminism classically leaks into an event schedule; hot per-packet
+// state belongs in internal/flatmap's open-addressed tables or dense stamp
+// rows. Cold-path maps (setup, reporting) are fine — they are not
+// reachable from OnEvent.
+//
 // Arguments of panic(...) are exempt: the failure path is allowed to format.
 // Observer packages (trace, invariant) outside the simPackages list are not
 // reported — they are opt-in diagnostics, not the steady-state data plane.
@@ -57,6 +66,9 @@ func runHotpath(p *Pass) {
 func checkAllocs(p *Pass, node *cgNode, chain string) {
 	report := func(pos token.Pos, what string) {
 		p.Reportf(pos, "%s in event hot path (%s); preallocate or reuse", what, chain)
+	}
+	reportMap := func(pos token.Pos, what string) {
+		p.Reportf(pos, "%s in event hot path (%s); use internal/flatmap or a dense slice", what, chain)
 	}
 	panicArgs := panicArgRanges(node.body)
 	exempt := func(pos token.Pos) bool {
@@ -93,6 +105,10 @@ func checkAllocs(p *Pass, node *cgNode, chain string) {
 						report(n.Pos(), "make(...)")
 					case "append":
 						report(n.Pos(), "append (may grow the backing array)")
+					case "delete":
+						if len(n.Args) == 2 && isMapType(p.TypeOf(n.Args[0])) {
+							reportMap(n.Pos(), "built-in map delete")
+						}
 					}
 					return true
 				}
@@ -121,6 +137,20 @@ func checkAllocs(p *Pass, node *cgNode, chain string) {
 			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
 				report(n.Pos(), "&composite literal (heap allocation)")
 			}
+		case *ast.IndexExpr:
+			if exempt(n.Pos()) {
+				return true
+			}
+			if isMapType(p.TypeOf(n.X)) {
+				reportMap(n.Pos(), "built-in map access (hash + bucket probe per packet)")
+			}
+		case *ast.RangeStmt:
+			if exempt(n.Pos()) {
+				return true
+			}
+			if isMapType(p.TypeOf(n.X)) {
+				reportMap(n.X.Pos(), "built-in map range (nondeterministic iteration order)")
+			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && !exempt(n.Pos()) {
 				if t := p.TypeOf(n); t != nil {
@@ -135,6 +165,15 @@ func checkAllocs(p *Pass, node *cgNode, chain string) {
 		return true
 	}
 	ast.Inspect(node.body, walk)
+}
+
+// isMapType reports whether t's underlying type is a built-in map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
 }
 
 // panicArgRanges returns the source ranges of every panic(...) argument list

@@ -42,7 +42,7 @@ func (n *Node) OnEvent(arg sim.EventArg) {
 func (n *Node) process(v int) {
 	n.stats = append(n.stats, v) // want `append \(may grow the backing array\) in event hot path`
 	seen := make(map[int]bool)   // want `make\(...\) in event hot path`
-	seen[v] = true
+	seen[v] = true               // want `built-in map access \(hash \+ bucket probe per packet\) in event hot path`
 	pair := &struct{ a, b int }{v, v} // want `&composite literal \(heap allocation\) in event hot path`
 	_ = pair
 	label := n.name + "!" // want `string concatenation in event hot path`

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/lb"
 	"github.com/rlb-project/rlb/internal/sim"
 	"github.com/rlb-project/rlb/internal/switchsim"
@@ -65,16 +66,22 @@ type Agent struct {
 	// DstLeafOf maps a destination host id to its leaf index.
 	DstLeafOf func(hostID int) int
 
-	// warned[uplink] maps destination leaf (-1 = any) to warning expiry.
-	warned []map[int]sim.Time
+	// warned[uplink] holds warning expiry stamps in a dense row: slot 0 is
+	// the "any destination" wildcard (the old -1 key), slot d+1 is leaf d.
+	// A warning is live iff now < its stamp, so expiry is a compare and no
+	// entry is ever deleted (see internal/flatmap). Rows grow lazily to the
+	// highest leaf seen — the agent does not know the leaf count up front.
+	warned []flatmap.Stamps[sim.Time]
 
-	// faults[uplink] maps destination leaf (-1 = the whole uplink) to
-	// link-state faults reported by the fault plane. Unlike CNM warnings
-	// they do not expire; they are cleared when the link is restored.
-	faults []map[int]bool
+	// faults[uplink] marks link-state faults from the fault plane in the
+	// same slot scheme (slot 0 = the whole uplink is dead). A faulted slot
+	// is stamped 0; restoring the link clears it back to Never. Unlike CNM
+	// warnings, faults do not expire.
+	faults []flatmap.Stamps[sim.Time]
 
-	// mem tracks each flow's previous uplink for the order guard.
-	mem map[uint32]flowMem
+	// mem tracks each flow's previous uplink for the order guard, in a flat
+	// open-addressed table probed on every pick.
+	mem flatmap.U32[flowMem]
 
 	Stats AgentStats
 }
@@ -87,13 +94,8 @@ func NewAgent(base lb.Chooser, params Params, uplinkPortBase, numUplinks int, ds
 		UplinkPortBase: uplinkPortBase,
 		NumUplinks:     numUplinks,
 		DstLeafOf:      dstLeafOf,
-		warned:         make([]map[int]sim.Time, numUplinks),
-		faults:         make([]map[int]bool, numUplinks),
-		mem:            make(map[uint32]flowMem),
-	}
-	for i := range a.warned {
-		a.warned[i] = make(map[int]sim.Time)
-		a.faults[i] = make(map[int]bool)
+		warned:         make([]flatmap.Stamps[sim.Time], numUplinks),
+		faults:         make([]flatmap.Stamps[sim.Time], numUplinks),
 	}
 	return a
 }
@@ -108,20 +110,17 @@ func (a *Agent) SetLinkFault(uplink, dstLeaf int, down bool) {
 		return
 	}
 	if down {
-		a.faults[uplink][dstLeaf] = true
+		a.faults[uplink].SetGrow(dstLeaf+1, 0)
 	} else {
-		delete(a.faults[uplink], dstLeaf)
+		a.faults[uplink].Clear(dstLeaf + 1)
 	}
 }
 
 // Faulted reports whether uplink i is dead toward dstLeaf per the fault
 // plane's link-state notifications.
 func (a *Agent) Faulted(uplink, dstLeaf int) bool {
-	m := a.faults[uplink]
-	if len(m) == 0 {
-		return false
-	}
-	return m[-1] || m[dstLeaf]
+	f := &a.faults[uplink]
+	return f.AtLeast(0, 0) || f.AtLeast(dstLeaf+1, 0)
 }
 
 // OnControl is installed as the leaf switch's control hook: it absorbs CNMs
@@ -135,7 +134,7 @@ func (a *Agent) OnControl(sw *switchsim.Switch, pkt *fabric.Packet, inPort int) 
 		return true // CNM from a host-facing port: ignore
 	}
 	a.Stats.WarningsRcvd++
-	a.warned[uplink][pkt.CNMsg.DstLeaf] = sw.Eng.Now() + a.Params.WarnExpiry
+	a.warned[uplink].SetGrow(pkt.CNMsg.DstLeaf+1, sw.Eng.Now()+a.Params.WarnExpiry)
 	if sw.Trace != nil {
 		sw.Trace.Add(trace.Event{At: sw.Eng.Now(), Kind: trace.WarningSet,
 			Dev: sw.ID, Port: uplink, Aux: pkt.CNMsg.DstLeaf})
@@ -151,20 +150,8 @@ func (a *Agent) Warned(uplink, dstLeaf int, now sim.Time) bool {
 	if a.Faulted(uplink, dstLeaf) {
 		return true
 	}
-	m := a.warned[uplink]
-	if exp, ok := m[-1]; ok {
-		if now < exp {
-			return true
-		}
-		delete(m, -1)
-	}
-	if exp, ok := m[dstLeaf]; ok {
-		if now < exp {
-			return true
-		}
-		delete(m, dstLeaf)
-	}
-	return false
+	w := &a.warned[uplink]
+	return now < w.Get(0) || now < w.Get(dstLeaf+1)
 }
 
 // Pick implements lb.Policy with Algorithm 1 ("Rerouting without Packet
@@ -186,7 +173,7 @@ func (a *Agent) Pick(v lb.View, pkt *fabric.Packet) lb.Decision {
 	// straight to an egress queue now would overtake it.
 	// Forced waits all share the same pipeline delay, so they stay FIFO
 	// among themselves and need not extend the wait window.
-	if m := a.mem[pkt.FlowID]; now < m.waitUntil && !a.Params.DisableRecirculation && pkt.Recirc < a.Params.MaxRecirc {
+	if m, _ := a.mem.Get(pkt.FlowID); now < m.waitUntil && !a.Params.DisableRecirculation && pkt.Recirc < a.Params.MaxRecirc {
 		a.Stats.OrderRecircs++
 		return lb.Decision{Recirculate: true}
 	}
@@ -198,22 +185,21 @@ func (a *Agent) Pick(v lb.View, pkt *fabric.Packet) lb.Decision {
 	// moves the flow on its own (new flowcell/flowlet), or when the warning
 	// cleared and the diverted in-flight packets have had time to deliver —
 	// switching back earlier would overtake them.
-	if m := a.mem[pkt.FlowID]; m.divert {
+	if m := a.mem.Ptr(pkt.FlowID); m != nil && m.divert {
 		switch {
 		case p != m.divertFrom:
 			m.divert = false
-			a.mem[pkt.FlowID] = m
 		case a.Faulted(m.divertTo, dstLeaf):
 			// The diverted-to path itself died; re-run Algorithm 1.
 			m.divert = false
-			a.mem[pkt.FlowID] = m
 		case !a.Warned(p, a.DstLeafOf(pkt.DstID), now) && now-m.at > v.PathDelay(m.divertTo, pkt):
 			m.divert = false
-			a.mem[pkt.FlowID] = m
 		default:
 			a.Stats.DivertSticky++
-			a.remember(pkt.FlowID, m.divertTo, now)
-			return a.commit(pkt, m.divertTo)
+			// remember may rehash the table and invalidate m; copy first.
+			to := m.divertTo
+			a.remember(pkt.FlowID, to, now)
+			return a.commit(pkt, to)
 		}
 	}
 
@@ -226,7 +212,7 @@ func (a *Agent) Pick(v lb.View, pkt *fabric.Packet) lb.Decision {
 	// Order guard: predecessors committed to p and possibly still in flight.
 	// It does not apply to faulted paths: predecessors there are stalled or
 	// lost on the wire, and staying would only feed the blackhole.
-	if mem, ok := a.mem[pkt.FlowID]; ok && !a.Params.DisableOrderGuard &&
+	if mem := a.mem.Ptr(pkt.FlowID); mem != nil && !a.Params.DisableOrderGuard &&
 		!a.Faulted(p, dstLeaf) &&
 		mem.path == p && now-mem.at <= v.PathDelay(p, pkt) {
 		a.Stats.OrderStays++
@@ -240,15 +226,13 @@ func (a *Agent) Pick(v lb.View, pkt *fabric.Packet) lb.Decision {
 	// base scheme is moving the flow anyway (Presto cell / LetFlow flowlet
 	// boundaries, DRILL's per-packet churn), a detour costs nothing extra
 	// and waiting would only burn pipeline passes.
-	mem, hasMem := a.mem[pkt.FlowID]
+	mem, hasMem := a.mem.Get(pkt.FlowID)
 	recircOK := !a.Params.DisableRecirculation && now >= mem.noRecircUntil &&
 		(!hasMem || mem.path == p || pkt.Recirc > 0)
 	if pkt.Recirc >= a.Params.MaxRecirc {
 		// Budget exhausted without the warning clearing: not a transient.
 		recircOK = false
-		m := a.mem[pkt.FlowID]
-		m.noRecircUntil = now + a.Params.WarnExpiry
-		a.mem[pkt.FlowID] = m
+		a.mem.Upsert(pkt.FlowID).noRecircUntil = now + a.Params.WarnExpiry
 	}
 	initial := p
 	for iter := 0; iter < a.NumUplinks; iter++ {
@@ -301,30 +285,27 @@ func (a *Agent) commit(pkt *fabric.Packet, path int) lb.Decision {
 }
 
 func (a *Agent) remember(flow uint32, path int, now sim.Time) {
-	m := a.mem[flow]
+	m := a.mem.Upsert(flow)
 	m.path, m.at = path, now
-	a.mem[flow] = m
 }
 
 // recircNoted records that a packet of flow is in the recirculation loop
 // until now+Trc, so later flow-mates know to wait behind it.
 func (a *Agent) recircNoted(flow uint32, now sim.Time) {
-	m := a.mem[flow]
+	m := a.mem.Upsert(flow)
 	if exit := now + a.Params.Trc; exit > m.waitUntil {
 		m.waitUntil = exit
 	}
-	a.mem[flow] = m
 }
 
 // divertTo records the Algorithm 1 outcome; if it moved the flow off the
 // base scheme's choice, the diversion is pinned until the base moves on.
 func (a *Agent) divertTo(flow uint32, from, to int, now sim.Time) {
-	m := a.mem[flow]
+	m := a.mem.Upsert(flow)
 	m.path, m.at = to, now
 	if from != to {
 		m.divert, m.divertFrom, m.divertTo = true, from, to
 	}
-	a.mem[flow] = m
 }
 
 var _ lb.Policy = (*Agent)(nil)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/lb"
 	"github.com/rlb-project/rlb/internal/rng"
 	"github.com/rlb-project/rlb/internal/sim"
@@ -87,7 +88,7 @@ func TestPickNoWarningUsesOptimal(t *testing.T) {
 }
 
 func warn(a *Agent, uplink, dstLeaf int, now sim.Time) {
-	a.warned[uplink][dstLeaf] = now + a.Params.WarnExpiry
+	a.warned[uplink].SetGrow(dstLeaf+1, now+a.Params.WarnExpiry)
 }
 
 func TestPickWarnedSmallGapReroutes(t *testing.T) {
@@ -234,7 +235,7 @@ func TestWildcardWarningMatchesAllLeaves(t *testing.T) {
 	}
 }
 
-func TestWarnedCleansExpiredEntries(t *testing.T) {
+func TestWarnedExpiresByComparison(t *testing.T) {
 	a := testAgent(2)
 	warn(a, 0, 3, 0)
 	if !a.Warned(0, 3, sim.Microsecond) {
@@ -243,7 +244,13 @@ func TestWarnedCleansExpiredEntries(t *testing.T) {
 	if a.Warned(0, 3, sim.Second) {
 		t.Fatal("expired warning reported")
 	}
-	if len(a.warned[0]) != 0 {
-		t.Fatal("expired entry not deleted")
+	// Expiry is a comparison against the stamp, not a deletion: the slot
+	// keeps its stamp and simply stops matching, and re-warning revives it.
+	if a.warned[0].Get(4) == sim.Time(flatmap.Never) {
+		t.Fatal("expired stamp was cleared; aging should be compare-only")
+	}
+	warn(a, 0, 3, 2*sim.Second)
+	if !a.Warned(0, 3, 2*sim.Second+sim.Microsecond) {
+		t.Fatal("re-warned slot not live again")
 	}
 }

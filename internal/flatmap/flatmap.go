@@ -1,0 +1,249 @@
+// Package flatmap provides the flat, allocation-free-at-steady-state
+// containers backing the simulator's per-packet state: an open-addressed
+// hash table for integer keys (flow ids, sequence numbers) and a dense
+// stamp table for small integer keys (port indices).
+//
+// Both containers exist because Go's built-in map pays hashing, bucket
+// chasing, and write-barrier costs on every operation — costs that DRILL's
+// per-packet O(1) micro-work premise, and CONGA/Hermes' purpose-built
+// flowlet tables, explicitly avoid in real switch hardware. After the event
+// free list (PR 2) and the calendar-queue scheduler (PR 4), those map
+// operations were the dominant remaining per-packet cost in profile.
+//
+// Design points shared by the containers:
+//
+//   - The zero value is ready to use: lookups on an empty container miss
+//     without allocating, and the first insert sizes the backing array.
+//   - Steady-state Get/Put/Delete perform zero heap allocations; only
+//     capacity growth allocates, and growth is amortized (benchmarks and
+//     TestFlatmapZeroAlloc pin this at 0 allocs/op).
+//   - Iteration order is deterministic: tables iterate in ascending key
+//     order regardless of insertion/deletion history, so no cold-path scan
+//     can leak probe-layout order into an event schedule. (The hot paths
+//     never iterate; the determinism analyzer enforces that separately.)
+//
+// The hash table (Map, with the U32/U64 shorthands) uses power-of-two
+// capacity, multiplicative hashing, linear probing, and backward-shift
+// deletion — no tombstones, so probe chains never degrade and a
+// delete-heavy workload (per-sequence retransmit marks) keeps its lookup
+// cost flat.
+package flatmap
+
+import "sort"
+
+// Key is the supported key domain: the simulator's flow ids and sequence
+// numbers are uint32, and uint64 covers composite keys.
+type Key interface{ ~uint32 | ~uint64 }
+
+// minCap is the initial bucket count of a table's first insert.
+const minCap = 8
+
+// Map is an open-addressed hash table from K to V with power-of-two
+// capacity, linear probing, and backward-shift deletion. The zero value is
+// an empty, usable table. Use the U32/U64 shorthands unless a distinct key
+// type is needed.
+//
+// Pointers returned by Ptr/Upsert are valid only until the next Put,
+// Upsert, or Delete: growth rehashes into a new backing array and
+// backward-shift deletion slides entries across slots.
+type Map[K Key, V any] struct {
+	keys []K
+	vals []V
+	used []bool
+	n    int
+}
+
+// U32 is the uint32-keyed table used for per-flow and per-sequence state.
+type U32[V any] struct{ Map[uint32, V] }
+
+// U64 is the uint64-keyed variant for composite keys.
+type U64[V any] struct{ Map[uint64, V] }
+
+// hash mixes k over the full 64-bit space (splitmix64 finalizer); the
+// bucket index takes the low bits after mixing, so sequential keys (flow
+// ids, sequence numbers) spread instead of clustering into one probe chain.
+func hash[K Key](k K) uint64 {
+	z := uint64(k) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int { return m.n }
+
+// Cap returns the current bucket count (0 before the first insert).
+func (m *Map[K, V]) Cap() int { return len(m.keys) }
+
+// home returns k's preferred slot in the current backing array.
+func (m *Map[K, V]) home(k K) int {
+	return int(hash(k) & uint64(len(m.keys)-1))
+}
+
+// find returns the slot holding k, or -1 when absent.
+func (m *Map[K, V]) find(k K) int {
+	if m.n == 0 {
+		return -1
+	}
+	mask := len(m.keys) - 1
+	for i := m.home(k); m.used[i]; i = (i + 1) & mask {
+		if m.keys[i] == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored under k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if i := m.find(k); i >= 0 {
+		return m.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether k is present.
+func (m *Map[K, V]) Has(k K) bool { return m.find(k) >= 0 }
+
+// Ptr returns a pointer to k's value for in-place mutation, or nil when k
+// is absent. The pointer is invalidated by the next table mutation.
+func (m *Map[K, V]) Ptr(k K) *V {
+	if i := m.find(k); i >= 0 {
+		return &m.vals[i]
+	}
+	return nil
+}
+
+// Put stores v under k, inserting or overwriting.
+func (m *Map[K, V]) Put(k K, v V) { *m.Upsert(k) = v }
+
+// Upsert returns a pointer to k's value, inserting a zero value first when
+// k is absent. The pointer is invalidated by the next table mutation.
+func (m *Map[K, V]) Upsert(k K) *V {
+	if len(m.keys) == 0 || (m.n+1)*4 > len(m.keys)*3 {
+		m.grow()
+	}
+	mask := len(m.keys) - 1
+	i := m.home(k)
+	for m.used[i] {
+		if m.keys[i] == k {
+			return &m.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	m.used[i] = true
+	m.keys[i] = k
+	var zero V
+	m.vals[i] = zero
+	m.n++
+	return &m.vals[i]
+}
+
+// Delete removes k, reporting whether it was present. Removal backward-
+// shifts the probe chain into the vacated slot instead of leaving a
+// tombstone, so table layout stays a pure function of the live contents'
+// probe order and lookup cost never degrades with delete traffic.
+func (m *Map[K, V]) Delete(k K) bool {
+	i := m.find(k)
+	if i < 0 {
+		return false
+	}
+	m.n--
+	mask := len(m.keys) - 1
+	var zero V
+	for {
+		m.used[i] = false
+		m.vals[i] = zero // drop pointer payloads for the GC
+		// Scan the chain after the hole: the first entry whose home lies at
+		// or cyclically before the hole slides back into it (it was only
+		// pushed past the hole by the entry just removed).
+		j := i
+		for {
+			j = (j + 1) & mask
+			if !m.used[j] {
+				return true
+			}
+			h := m.home(m.keys[j])
+			// Entry j may move to i iff i lies on j's probe path, i.e. the
+			// cyclic distance home->i is shorter than home->j.
+			if (i-h)&mask < (j-h)&mask {
+				break
+			}
+		}
+		m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+		m.used[i] = true
+		i = j
+	}
+}
+
+// grow doubles the bucket count (or creates the initial array) and
+// rehashes every live entry.
+func (m *Map[K, V]) grow() {
+	newCap := minCap
+	if len(m.keys) > 0 {
+		newCap = len(m.keys) * 2
+	}
+	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	//simlint:allow(hotpath) amortized table growth: steady state reuses capacity (0 allocs/op, bench-gated)
+	m.keys = make([]K, newCap)
+	//simlint:allow(hotpath) amortized table growth: steady state reuses capacity (0 allocs/op, bench-gated)
+	m.vals = make([]V, newCap)
+	//simlint:allow(hotpath) amortized table growth: steady state reuses capacity (0 allocs/op, bench-gated)
+	m.used = make([]bool, newCap)
+	mask := newCap - 1
+	for i, u := range oldUsed {
+		if !u {
+			continue
+		}
+		j := m.home(oldKeys[i])
+		for m.used[j] {
+			j = (j + 1) & mask
+		}
+		m.used[j] = true
+		m.keys[j] = oldKeys[i]
+		m.vals[j] = oldVals[i]
+	}
+}
+
+// Reserve grows the table until it can hold at least n entries without
+// further allocation (a cold-path construction hint).
+func (m *Map[K, V]) Reserve(n int) {
+	for len(m.keys)*3 < (n+1)*4 {
+		m.grow()
+	}
+}
+
+// Reset empties the table, keeping capacity for reuse.
+func (m *Map[K, V]) Reset() {
+	var zeroV V
+	for i := range m.used {
+		if m.used[i] {
+			m.used[i] = false
+			m.vals[i] = zeroV
+		}
+	}
+	m.n = 0
+}
+
+// Keys appends every key to buf in ascending order and returns it. Sorted
+// order makes cold-path scans deterministic regardless of the table's
+// insertion/deletion history; hot paths must not iterate at all.
+func (m *Map[K, V]) Keys(buf []K) []K {
+	for i, u := range m.used {
+		if u {
+			buf = append(buf, m.keys[i])
+		}
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	return buf
+}
+
+// Range calls fn for every entry in ascending key order (cold path: it
+// allocates the sorted key scratch).
+func (m *Map[K, V]) Range(fn func(k K, v V)) {
+	for _, k := range m.Keys(nil) {
+		i := m.find(k)
+		fn(k, m.vals[i])
+	}
+}

@@ -1,0 +1,91 @@
+package flatmap
+
+// Epoch is the stamp domain: any int64-backed ordered scalar. sim.Time
+// satisfies it directly, so stamp comparisons stay in the simulator's unit
+// system with no conversions.
+type Epoch interface{ ~int64 }
+
+// Never is the stamp of a slot that was never set (or was cleared). It is
+// far below any reachable cutoff — simulated time starts at zero and
+// horizons are bounded — while leaving headroom so `cutoff' arithmetic
+// like now-horizon can never underflow past it.
+const Never = int64(-1) << 62
+
+// Stamps is a dense stamp table over small integer keys (port indices,
+// leaf indices): slot i holds the last stamp recorded for key i, and
+// membership is the comparison stamp >= cutoff. Aging therefore needs no
+// delete — an entry expires by the cutoff moving past it — and iteration
+// is the slice order, deterministic and already sorted by key.
+//
+// The zero value is empty; Grow (or the NewStamps size hint) allocates the
+// slots. Out-of-range keys read as Never and must be Grown before Set.
+type Stamps[T Epoch] struct {
+	s []T
+}
+
+// NewStamps returns a table with n slots, all Never.
+func NewStamps[T Epoch](n int) Stamps[T] {
+	st := Stamps[T]{}
+	st.Grow(n)
+	return st
+}
+
+// Len returns the slot count.
+func (st *Stamps[T]) Len() int { return len(st.s) }
+
+// Grow ensures at least n slots exist, initializing new ones to Never.
+func (st *Stamps[T]) Grow(n int) {
+	if n <= len(st.s) {
+		return
+	}
+	//simlint:allow(hotpath) amortized slot growth sized by fabric shape; steady state never grows (0 allocs/op, bench-gated)
+	grown := make([]T, n)
+	copy(grown, st.s)
+	for i := len(st.s); i < n; i++ {
+		grown[i] = T(Never)
+	}
+	st.s = grown
+}
+
+// Set records stamp v for key i (i must be < Len; size the table with Grow
+// or NewStamps on the cold path).
+func (st *Stamps[T]) Set(i int, v T) { st.s[i] = v }
+
+// SetGrow records stamp v for key i, growing the table as needed — for
+// callers whose key range is discovered at run time (amortized; the table
+// stops growing once the range is seen).
+func (st *Stamps[T]) SetGrow(i int, v T) {
+	if i >= len(st.s) {
+		st.Grow(i + 1)
+	}
+	st.s[i] = v
+}
+
+// Get returns key i's stamp, or Never when i was never set (including
+// i >= Len).
+func (st *Stamps[T]) Get(i int) T {
+	if i >= len(st.s) {
+		return T(Never)
+	}
+	return st.s[i]
+}
+
+// AtLeast reports whether key i's stamp is >= cutoff — the membership
+// test. Entries age out by comparison: no delete, no compaction.
+func (st *Stamps[T]) AtLeast(i int, cutoff T) bool {
+	return i < len(st.s) && st.s[i] >= cutoff
+}
+
+// Clear forgets key i (its stamp returns to Never).
+func (st *Stamps[T]) Clear(i int) {
+	if i < len(st.s) {
+		st.s[i] = T(Never)
+	}
+}
+
+// Reset forgets every key, keeping capacity.
+func (st *Stamps[T]) Reset() {
+	for i := range st.s {
+		st.s[i] = T(Never)
+	}
+}

@@ -2,6 +2,7 @@ package lb
 
 import (
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/sim"
 )
 
@@ -17,12 +18,14 @@ type CONGA struct {
 	// Gap is the flowlet inactivity timeout.
 	Gap sim.Time
 
-	table map[uint32]*flowlet
+	// table stores flowlet state inline in a flat open-addressed table
+	// (see internal/flatmap), like CONGA's fixed-size flowlet table.
+	table flatmap.U32[flowlet]
 }
 
 // NewCONGA returns a CONGA factory with the given flowlet gap.
 func NewCONGA(gap sim.Time) Factory {
-	return func() Chooser { return &CONGA{Gap: gap, table: make(map[uint32]*flowlet)} }
+	return func() Chooser { return &CONGA{Gap: gap} }
 }
 
 // Name implements Chooser.
@@ -31,11 +34,11 @@ func (c *CONGA) Name() string { return "conga" }
 // Choose implements Chooser.
 func (c *CONGA) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	now := v.Now()
-	fl := c.table[pkt.FlowID]
+	fl := c.table.Ptr(pkt.FlowID)
 	if fl == nil {
-		//simlint:allow(hotpath) one allocation per new flow, not per packet; flowlet table entries live for the flow's duration
-		fl = &flowlet{path: c.leastCongested(v, pkt, exclude)}
-		c.table[pkt.FlowID] = fl
+		path := c.leastCongested(v, pkt, exclude)
+		fl = c.table.Upsert(pkt.FlowID)
+		fl.path = path
 	} else if now-fl.lastSeen > c.Gap {
 		// New flowlet: re-balance onto the currently best path.
 		fl.path = c.leastCongested(v, pkt, exclude)
@@ -50,7 +53,7 @@ func (c *CONGA) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 
 // Commit implements Committer: an override moves the flowlet with it.
 func (c *CONGA) Commit(pkt *fabric.Packet, path int) {
-	if fl := c.table[pkt.FlowID]; fl != nil {
+	if fl := c.table.Ptr(pkt.FlowID); fl != nil {
 		fl.path = path
 	}
 }

@@ -2,6 +2,7 @@ package lb
 
 import (
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/sim"
 )
 
@@ -25,7 +26,10 @@ type Hermes struct {
 	// MTU converts sequence numbers to byte offsets.
 	MTU int
 
-	flows map[uint32]*hermesFlow
+	// flows stores per-flow path state inline in a flat open-addressed
+	// table (see internal/flatmap): no per-flow heap entry, one probe per
+	// packet.
+	flows flatmap.U32[hermesFlow]
 }
 
 type hermesFlow struct {
@@ -47,7 +51,6 @@ func NewHermes(mtu int, base sim.Time) Factory {
 			Gain:      8 * sim.Microsecond,
 			MinBytes:  64 * 1000,
 			MTU:       mtu,
-			flows:     make(map[uint32]*hermesFlow),
 		}
 	}
 }
@@ -57,11 +60,9 @@ func (h *Hermes) Name() string { return "hermes" }
 
 // Choose implements Chooser.
 func (h *Hermes) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
-	st := h.flows[pkt.FlowID]
+	st := h.flows.Ptr(pkt.FlowID)
 	if st == nil {
-		//simlint:allow(hotpath) one allocation per new flow, not per packet; per-flow state lives for the flow's duration
-		st = &hermesFlow{}
-		h.flows[pkt.FlowID] = st
+		st = h.flows.Upsert(pkt.FlowID)
 	}
 	if !st.started {
 		st.started = true
@@ -104,7 +105,7 @@ func (h *Hermes) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 // than the flow's recorded path, move the flow state there so subsequent
 // sensing and hysteresis operate on reality.
 func (h *Hermes) Commit(pkt *fabric.Packet, path int) {
-	st := h.flows[pkt.FlowID]
+	st := h.flows.Ptr(pkt.FlowID)
 	if st == nil || !st.started || st.path == path {
 		return
 	}

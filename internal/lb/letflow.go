@@ -2,6 +2,7 @@ package lb
 
 import (
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/sim"
 )
 
@@ -13,7 +14,10 @@ type LetFlow struct {
 	// Gap is the flowlet inactivity timeout.
 	Gap sim.Time
 
-	table map[uint32]*flowlet
+	// table stores flowlet state inline in a flat open-addressed table —
+	// no per-flow heap entry and no pointer chase on the per-packet path,
+	// the way a real switch's flowlet table is a fixed array of slots.
+	table flatmap.U32[flowlet]
 }
 
 type flowlet struct {
@@ -23,14 +27,14 @@ type flowlet struct {
 
 // Commit implements Committer: an override moves the flowlet with it.
 func (l *LetFlow) Commit(pkt *fabric.Packet, path int) {
-	if fl := l.table[pkt.FlowID]; fl != nil {
+	if fl := l.table.Ptr(pkt.FlowID); fl != nil {
 		fl.path = path
 	}
 }
 
 // NewLetFlow returns a LetFlow factory with the given flowlet gap.
 func NewLetFlow(gap sim.Time) Factory {
-	return func() Chooser { return &LetFlow{Gap: gap, table: make(map[uint32]*flowlet)} }
+	return func() Chooser { return &LetFlow{Gap: gap} }
 }
 
 // Name implements Chooser.
@@ -40,11 +44,10 @@ func (l *LetFlow) Name() string { return "letflow" }
 func (l *LetFlow) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	now := v.Now()
 	n := v.NumPaths()
-	fl := l.table[pkt.FlowID]
+	fl := l.table.Ptr(pkt.FlowID)
 	if fl == nil {
-		//simlint:allow(hotpath) one allocation per new flow, not per packet; flowlet table entries live for the flow's duration
-		fl = &flowlet{path: v.Rng().Intn(n)}
-		l.table[pkt.FlowID] = fl
+		fl = l.table.Upsert(pkt.FlowID)
+		fl.path = v.Rng().Intn(n)
 	} else if now-fl.lastSeen > l.Gap {
 		fl.path = v.Rng().Intn(n)
 	}

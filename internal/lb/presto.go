@@ -1,6 +1,9 @@
 package lb
 
-import "github.com/rlb-project/rlb/internal/fabric"
+import (
+	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
+)
 
 // Presto (He et al., SIGCOMM 2015) sprays fixed-size flowcells over the
 // parallel paths in round-robin order: every flow is chopped into
@@ -14,14 +17,16 @@ type Presto struct {
 	// next is the global round-robin pointer assigning a start path to each
 	// new flow, as Presto's edge vSwitch does.
 	next int
-	// start remembers each flow's first path.
-	start map[uint32]int
+	// start remembers each flow's first path in a flat open-addressed
+	// table: one probe per packet instead of a built-in map's hash/bucket
+	// walk (see internal/flatmap).
+	start flatmap.U32[int]
 }
 
 // NewPresto returns a Presto factory with the given flowcell size and MTU.
 func NewPresto(cellBytes, mtu int) Factory {
 	return func() Chooser {
-		return &Presto{CellBytes: cellBytes, MTU: mtu, start: make(map[uint32]int)}
+		return &Presto{CellBytes: cellBytes, MTU: mtu}
 	}
 }
 
@@ -31,11 +36,11 @@ func (p *Presto) Name() string { return "presto" }
 // Choose implements Chooser: path = (flow start + cell index) mod paths.
 func (p *Presto) Choose(v View, pkt *fabric.Packet, exclude PathSet) int {
 	n := v.NumPaths()
-	s, ok := p.start[pkt.FlowID]
+	s, ok := p.start.Get(pkt.FlowID)
 	if !ok {
 		s = p.next % n
 		p.next++
-		p.start[pkt.FlowID] = s
+		p.start.Put(pkt.FlowID, s)
 	}
 	cell := int(pkt.Seq) * p.MTU / p.CellBytes
 	if exclude == 0 {

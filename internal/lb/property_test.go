@@ -54,16 +54,16 @@ func TestCommitIdempotent(t *testing.T) {
 	h := NewHermes(1000, 0)().(*Hermes)
 	p0 := h.Choose(v, dataPkt(1, 0), 0)
 	h.Commit(dataPkt(1, 1), p0) // same path: no-op
-	if h.flows[1].lastMoveSeq != 0 {
+	if st, _ := h.flows.Get(1); st.lastMoveSeq != 0 {
 		t.Fatal("no-op commit reset hysteresis")
 	}
 	h.Commit(dataPkt(1, 5), (p0+1)%4)
-	if h.flows[1].path != (p0+1)%4 || h.flows[1].lastMoveSeq != 5 {
+	if st, _ := h.flows.Get(1); st.path != (p0+1)%4 || st.lastMoveSeq != 5 {
 		t.Fatal("commit did not move flow state")
 	}
 	// Commit for an unknown flow must not panic or create state.
 	h.Commit(dataPkt(42, 0), 2)
-	if _, ok := h.flows[42]; ok {
+	if h.flows.Has(42) {
 		t.Fatal("commit created state for unknown flow")
 	}
 }

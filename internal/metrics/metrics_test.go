@@ -44,6 +44,57 @@ func TestDigestMeanAndPercentiles(t *testing.T) {
 	}
 }
 
+// TestDigestRunningSumMatchesNaive pins the O(1) Mean to the naive
+// insertion-order loop it replaced: same values, same addition order, so
+// the result must be bit-identical, including after interleaved sorts
+// (Percentile reorders samples but must not perturb the running sum).
+func TestDigestRunningSumMatchesNaive(t *testing.T) {
+	prop := func(raw []float64, sortAfter uint8) bool {
+		var d Digest
+		sum := 0.0
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = float64(i)
+			}
+			d.Add(v)
+			sum += v
+			if int(sortAfter)%(len(raw)+1) == i {
+				_ = d.Percentile(50)
+			}
+		}
+		if len(raw) == 0 {
+			return d.Mean() == 0
+		}
+		return d.Mean() == sum/float64(len(raw))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDigestReserve checks the size hint preallocates without changing
+// observable state, and that adding past the hint still works.
+func TestDigestReserve(t *testing.T) {
+	var d Digest
+	d.Reserve(100)
+	if d.Count() != 0 || d.Mean() != 0 {
+		t.Fatal("Reserve changed observable state")
+	}
+	if cap(d.samples) < 100 {
+		t.Fatalf("Reserve(100) gave cap %d", cap(d.samples))
+	}
+	base := &d.samples[:1][0]
+	for i := 0; i < 150; i++ {
+		d.Add(float64(i))
+		if i < 100 && &d.samples[0] != base {
+			t.Fatal("Add within reserved capacity reallocated")
+		}
+	}
+	if d.Count() != 150 || d.Mean() != 74.5 {
+		t.Fatalf("after adds: n=%d mean=%v", d.Count(), d.Mean())
+	}
+}
+
 func TestDigestInterleavedAddAndQuery(t *testing.T) {
 	var d Digest
 	d.Add(5)

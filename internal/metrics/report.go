@@ -30,6 +30,8 @@ const SmallCutoff = 100 * 1000
 // contribute no FCT samples.
 func BuildFlowReport(flows []*transport.Flow) *FlowReport {
 	r := &FlowReport{}
+	r.FCT.Reserve(len(flows))
+	r.OOD.Reserve(len(flows))
 	for _, f := range flows {
 		r.Flows++
 		r.TotalRcvd += f.PktsRcvd

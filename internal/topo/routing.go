@@ -2,6 +2,7 @@ package topo
 
 import (
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/lb"
 	"github.com/rlb-project/rlb/internal/rng"
 	"github.com/rlb-project/rlb/internal/sim"
@@ -69,7 +70,7 @@ type leafRouter struct {
 	view   *leafView
 	policy lb.Policy
 	trc    sim.Time
-	spray  map[uint32]int
+	spray  flatmap.U32[int]
 }
 
 func (r *leafRouter) Route(sw *switchsim.Switch, pkt *fabric.Packet, in int) switchsim.Decision {
@@ -89,7 +90,7 @@ func (r *leafRouter) Route(sw *switchsim.Switch, pkt *fabric.Packet, in int) swi
 		// Control frames take a deterministic hashed uplink.
 		return switchsim.Decision{Out: p.HostsPerLeaf + int(pkt.FlowID)%p.Spines}
 	}
-	if k, ok := r.spray[pkt.FlowID]; ok && k > 0 {
+	if k, ok := r.spray.Get(pkt.FlowID); ok && k > 0 {
 		if k > p.Spines {
 			k = p.Spines
 		}

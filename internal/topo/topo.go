@@ -213,7 +213,7 @@ func Build(p Params) *Network {
 		} else {
 			policy = lb.PlainPolicy{Chooser: base}
 		}
-		router := &leafRouter{net: n, leaf: l, view: view, policy: policy, trc: trc, spray: make(map[uint32]int)}
+		router := &leafRouter{net: n, leaf: l, view: view, policy: policy, trc: trc}
 		n.routers[l] = router
 		n.Leaves[l].SetRouter(router)
 	}
@@ -292,7 +292,7 @@ func (n *Network) PacketPool() *fabric.Pool { return n.pool }
 // (Fig. 2 / Fig. 4(a)).
 func (n *Network) SprayFlow(f *transport.Flow, k int) {
 	leaf := n.LeafOf(f.Src)
-	n.routers[leaf].spray[f.ID] = k
+	n.routers[leaf].spray.Put(f.ID, k)
 }
 
 // StopRLB halts all periodic machinery (RLB predictors and probe monitors)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/rlb-project/rlb/internal/dcqcn"
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/invariant"
 	"github.com/rlb-project/rlb/internal/sim"
 	"github.com/rlb-project/rlb/internal/units"
@@ -70,8 +71,11 @@ type Host struct {
 	nic  *fabric.Port
 	line units.Bandwidth
 
-	senders   map[uint32]*sender
-	receivers map[uint32]*receiver
+	// senders/receivers resolve the per-flow endpoint for every frame the
+	// NIC receives — flat open-addressed tables (see internal/flatmap), so
+	// the per-packet dispatch is one probe, not a built-in map lookup.
+	senders   flatmap.U32[*sender]
+	receivers flatmap.U32[*receiver]
 
 	// OnFlowDone fires (on the receiving host) when a flow completes.
 	OnFlowDone func(*Flow)
@@ -82,11 +86,9 @@ type Host struct {
 // NewHost creates a host; connect its NIC with host.NIC() before use.
 func NewHost(eng *sim.Engine, id int, cfg HostConfig) *Host {
 	h := &Host{
-		Eng:       eng,
-		ID:        id,
-		Cfg:       cfg,
-		senders:   make(map[uint32]*sender),
-		receivers: make(map[uint32]*receiver),
+		Eng: eng,
+		ID:  id,
+		Cfg: cfg,
 	}
 	h.nic = &fabric.Port{Eng: eng, Owner: h, Index: 0}
 	return h
@@ -121,8 +123,8 @@ func (h *Host) StartFlow(id uint32, dst *Host, size int) *Flow {
 		StartAt: h.Eng.Now(),
 	}
 	snd := newSender(h, f)
-	h.senders[id] = snd
-	dst.receivers[id] = newReceiver(dst, f)
+	h.senders.Put(id, snd)
+	dst.receivers.Put(id, newReceiver(dst, f))
 	snd.start()
 	return f
 }
@@ -136,15 +138,15 @@ func (h *Host) Receive(pkt *fabric.Packet, in *fabric.Port) {
 	case fabric.Resume:
 		in.SetPaused(pkt.Pause.Prio, false, 0)
 	case fabric.Data:
-		if r := h.receivers[pkt.FlowID]; r != nil {
+		if r, ok := h.receivers.Get(pkt.FlowID); ok {
 			r.onData(pkt)
 		}
 	case fabric.Ack, fabric.Nak:
-		if s := h.senders[pkt.FlowID]; s != nil {
+		if s, ok := h.senders.Get(pkt.FlowID); ok {
 			s.onAckNak(pkt)
 		}
 	case fabric.CNP:
-		if s := h.senders[pkt.FlowID]; s != nil {
+		if s, ok := h.senders.Get(pkt.FlowID); ok {
 			s.onCNP()
 		}
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/sim"
 )
 
@@ -19,14 +20,15 @@ type receiver struct {
 	lastNakFor uint32
 	lastCNPAt  sim.Time
 
-	reseq map[uint32]bool
+	// reseq buffers out-of-order sequence numbers in a flat table;
+	// useReseq gates the resequencing modes (pure go-back-N keeps it off).
+	reseq    flatmap.U32[struct{}]
+	useReseq bool
 }
 
 func newReceiver(h *Host, f *Flow) *receiver {
 	r := &receiver{h: h, f: f, lastNakFor: ^uint32(0), lastCNPAt: -sim.Second}
-	if h.Cfg.ReseqBufPkts > 0 || h.Cfg.SelectiveRepeat {
-		r.reseq = make(map[uint32]bool)
-	}
+	r.useReseq = h.Cfg.ReseqBufPkts > 0 || h.Cfg.SelectiveRepeat
 	return r
 }
 
@@ -54,19 +56,19 @@ func (r *receiver) onData(pkt *fabric.Packet) {
 		}
 		if r.h.Cfg.SelectiveRepeat {
 			// IRN: keep the arrival, request only the missing packet.
-			if r.reseq[seq] {
+			if r.reseq.Has(seq) {
 				f.Dups++
 				return
 			}
-			r.reseq[seq] = true
+			r.reseq.Put(seq, struct{}{})
 			if r.lastNakFor != r.expected {
 				r.lastNakFor = r.expected
 				r.h.sendControl(fabric.Nak, f.ID, f.Src, r.expected)
 			}
 			return
 		}
-		if r.reseq != nil && ood <= r.h.Cfg.ReseqBufPkts {
-			r.reseq[seq] = true
+		if r.useReseq && ood <= r.h.Cfg.ReseqBufPkts {
+			r.reseq.Put(seq, struct{}{})
 			return
 		}
 		// Go-back-N: discard and ask for the expected sequence, once per gap.
@@ -90,8 +92,7 @@ func (r *receiver) advance() {
 	f := r.f
 	r.h.Cfg.Checker.Delivered(r.h.Eng.Now(), f.ID, r.expected)
 	r.expected++
-	for r.reseq != nil && r.reseq[r.expected] {
-		delete(r.reseq, r.expected)
+	for r.useReseq && r.reseq.Delete(r.expected) {
 		r.h.Cfg.Checker.Delivered(r.h.Eng.Now(), f.ID, r.expected)
 		r.expected++
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"github.com/rlb-project/rlb/internal/dcqcn"
 	"github.com/rlb-project/rlb/internal/fabric"
+	"github.com/rlb-project/rlb/internal/flatmap"
 	"github.com/rlb-project/rlb/internal/sim"
 	"github.com/rlb-project/rlb/internal/units"
 )
@@ -21,9 +22,11 @@ type sender struct {
 	done    bool
 
 	// rtx queues individual sequences for selective-repeat retransmission
-	// (IRN mode); unused under go-back-N.
+	// (IRN mode); unused under go-back-N. rtxMark dedupes the queue in a
+	// flat table (zero value ready: the loss-free steady state never
+	// touches it).
 	rtx     []uint32
-	rtxMark map[uint32]bool
+	rtxMark flatmap.U32[struct{}]
 
 	pacer sim.Timer
 	rto   sim.Timer
@@ -95,7 +98,7 @@ func (s *sender) pump() {
 		// Selective repeat: retransmissions take priority over new data.
 		seq = s.rtx[0]
 		s.rtx = s.rtx[1:]
-		delete(s.rtxMark, seq)
+		s.rtxMark.Delete(seq)
 	} else {
 		seq = s.next
 		s.next++
@@ -169,14 +172,10 @@ func (s *sender) queueRtx(seq uint32) {
 	if seq >= s.f.NumPkts {
 		return
 	}
-	if s.rtxMark == nil {
-		//simlint:allow(hotpath) lazy one-time init on a sender's first loss; the loss-free steady state never reaches this
-		s.rtxMark = make(map[uint32]bool)
-	}
-	if s.rtxMark[seq] {
+	if s.rtxMark.Has(seq) {
 		return
 	}
-	s.rtxMark[seq] = true
+	s.rtxMark.Put(seq, struct{}{})
 	//simlint:allow(hotpath) retransmit queue grows only on loss events, not in the loss-free steady state
 	s.rtx = append(s.rtx, seq)
 }

@@ -16,6 +16,10 @@
 #                    "Spec round-trip tier")
 #   6. fuzz smoke  — metamorphic scenario sweep + seeded-breach meta-test +
 #                    time-boxed mutating fuzz over the committed corpus
+#   7. bench gate  — figure/scale events/sec vs the committed BENCH_PR9.json
+#                    (±10%), on by default; RLB_BENCH_GATE=0 opts out. The
+#                    committed record is copied next to simlint.jsonl as an
+#                    artifact.
 #
 # Each tier only runs if the previous one passed, so a compile error is not
 # buried under lint output and a lint finding is not buried under test logs.
@@ -62,12 +66,15 @@ make spec-verify
 echo "==> fuzz smoke (metamorphic sweep + seeded breach + 20s mutation)"
 make fuzz-smoke
 
-# Opt-in perf regression gate: events/sec vs the committed BENCH_PR4.json
-# (±10%). Wall-clock sensitive — only meaningful on a quiet machine that
-# matches the one the committed record was captured on, so it is off unless
-# RLB_BENCH_GATE=1.
-if [ "${RLB_BENCH_GATE:-0}" = "1" ]; then
-	echo "==> bench gate (events/sec vs BENCH_PR4.json)"
+# Perf regression gate: events/sec vs the committed BENCH_PR9.json (±10%),
+# on by default now that the data plane is gated on staying map- and
+# allocation-free. Wall-clock sensitive — set RLB_BENCH_GATE=0 to opt out on
+# a noisy machine or one that does not match where the record was captured.
+# The committed record ships as an artifact next to simlint.jsonl either way.
+cp BENCH_PR9.json "$ARTIFACT_DIR/BENCH_PR9.json"
+echo "    bench record artifact: $ARTIFACT_DIR/BENCH_PR9.json"
+if [ "${RLB_BENCH_GATE:-1}" = "1" ]; then
+	echo "==> bench gate (events/sec vs BENCH_PR9.json)"
 	make bench-gate
 fi
 
