@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-short vet lint simlint golden grids-golden spec-verify bench bench-smoke bench-json bench-gate fuzz-smoke fuzz cover clean ci
+.PHONY: all build test short race race-short vet lint simlint golden grids-golden spec-verify telemetry-verify telemetry-golden bench bench-smoke bench-json bench-gate fuzz-smoke fuzz cover clean ci
 
 all: build lint test
 
@@ -21,25 +21,42 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EngineDispatchTyped|PortPingPong' -benchtime 100x -benchmem ./internal/sim/ ./internal/fabric/
 
 # Regenerate the committed perf trajectory: run the tracked benchmarks and
-# join them against the PR-4 record (BENCH_PR4.json, the built-in-map data
-# plane) into BENCH_PR9.json. Figures run at 3 iterations to match how the
-# baseline was captured; the flatmap micro-benchmarks are new in PR 9 and
-# appear without a "before". See TESTING.md's Performance section.
+# join them against the PR-9 record (BENCH_PR9.json, the flat-table data
+# plane) into BENCH_PR10.json. Figures run at 3 iterations to match how the
+# baseline was captured; the telemetry sampler micro-benchmark is new in
+# PR 10 and appears without a "before". Telemetry stays disabled in every
+# figure benchmark, so the record doubles as the disabled-telemetry parity
+# proof against PR 9. See TESTING.md's Performance section.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineScheduleRun|BenchmarkEngineDispatchTyped|BenchmarkEngineScheduleCancel|BenchmarkEngineBucketRollover' -benchmem ./internal/sim/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFlatmapGet|BenchmarkFlatmapPutDelete|BenchmarkFlatmapStamps' -benchmem ./internal/flatmap/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSamplerTick' -benchmem ./internal/telemetry/ ; \
 	  $(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . ; } \
-	| $(GO) run ./cmd/benchjson -baseline BENCH_PR4.json \
-		-note "after: open-addressed flow tables + dense stamp sets across the data plane" -out BENCH_PR9.json
-	@cat BENCH_PR9.json
+	| $(GO) run ./cmd/benchjson -baseline BENCH_PR9.json \
+		-note "after: receiver dup-accounting fixes + observation-only telemetry layer (disabled in figure benches)" -out BENCH_PR10.json
+	@cat BENCH_PR10.json
 
 # Perf regression gate: rerun the figure and scale benchmarks and compare
-# events/sec against the committed BENCH_PR9.json with a ±10% tolerance.
+# events/sec against the committed BENCH_PR10.json with a ±10% tolerance.
 # Wall-clock sensitive; scripts/ci.sh runs it by default (RLB_BENCH_GATE=0
 # opts out on noisy or mismatched machines).
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Fig3MotivationPFC|Fig6FCTCDFSymmetric|Fig8aIncastDegree|ScaleFabric' -benchmem -benchtime 3x . \
-	| $(GO) run ./cmd/benchjson -gate BENCH_PR9.json -tolerance 10
+	| $(GO) run ./cmd/benchjson -gate BENCH_PR10.json -tolerance 10
+
+# Telemetry tier (TESTING.md "Telemetry tier"): the observation-only
+# contract in one command — determinism fingerprints bit-identical with
+# sampling on and off, the exported JSONL pinned byte-for-byte to its golden,
+# and the sampler/registry/exporter unit suite including the steady-state
+# zero-allocation assertion.
+telemetry-verify:
+	$(GO) test -count=1 ./internal/telemetry/
+	$(GO) test -count=1 -run 'TestTelemetry' ./internal/harness/
+
+# Refresh the committed telemetry golden after an intentional change to the
+# exporter format or the simulation's observable trajectory; review the diff.
+telemetry-golden:
+	$(GO) test ./internal/harness/ -run TestTelemetryGoldenJSONL -update-telemetry
 
 # Fuzz tier (see TESTING.md "Fuzz tier"): the deterministic metamorphic
 # sweep (50 generated scenarios, every property checked, failures shrunk

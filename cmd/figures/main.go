@@ -6,6 +6,7 @@
 //
 //	figures [-scale bench|default|paper] [-fig 3|4|6|7|8|9|10|all] [-seed N]
 //	figures -fig 7 -dump-spec        # the spec grids behind the figure, as JSON
+//	figures -timeseries fig2.jsonl   # Fig. 2-style queue/pause timeline
 //
 // -dump-spec prints, instead of running anything, the declarative sweep grids
 // a figure is built from together with every expanded cell spec. Any cell is
@@ -71,6 +72,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	dumpSpec := flag.Bool("dump-spec", false, "print the figure's spec grids and expanded cells as JSON and exit without running")
+	timeseries := flag.String("timeseries", "", "write a Fig. 2-style queue/pause time series (JSONL, or CSV with a .csv suffix) to this file and exit")
+	sampleInterval := flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval for -timeseries (min 1us)")
 	flag.Parse()
 
 	scale, ok := harness.ScaleByName(*scaleName)
@@ -81,6 +84,9 @@ func main() {
 
 	if *dumpSpec {
 		os.Exit(dumpSpecs(*fig, scale, *seed))
+	}
+	if *timeseries != "" {
+		os.Exit(runTimeseries(*timeseries, *sampleInterval, scale, *seed))
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }

@@ -10,6 +10,7 @@
 //	rlbsim -scheme drill+rlb -load 0.4 -asym -dump-spec > exp.json
 //	rlbsim -spec exp.json -load 0.6          # same spec, one knob changed
 //	rlbsim -scheme ecmp -kill 2 -kill-at 1ms -restore-at 3ms -strict
+//	rlbsim -telemetry out.jsonl -sample-interval 10us
 //	rlbsim -repro /tmp/rlb-repro-flows-complete.json
 package main
 
@@ -28,6 +29,7 @@ import (
 	"github.com/rlb-project/rlb/internal/metrics"
 	"github.com/rlb-project/rlb/internal/scenario"
 	"github.com/rlb-project/rlb/internal/spec"
+	"github.com/rlb-project/rlb/internal/telemetry"
 	"github.com/rlb-project/rlb/internal/trace"
 )
 
@@ -61,6 +63,8 @@ func main() {
 	noGuard := flag.Bool("noguard", false, "RLB ablation: disable the flow-order guard")
 	noRecirc := flag.Bool("norecirc", false, "RLB ablation: disable packet recirculation")
 	traceN := flag.Int("trace", 0, "record the last N control-plane events and dump them")
+	telemetryOut := flag.String("telemetry", "", "sample run-time telemetry and write the series to this file (JSONL; a .csv suffix writes CSV)")
+	sampleInterval := flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (with -telemetry)")
 	probe := flag.Duration("probe", 0, "use in-band probe telemetry at this interval instead of oracle path state (0 = oracle)")
 	kill := flag.Int("kill", 0, "fault plane: kill this many of leaf 0's spine uplinks")
 	killAt := flag.Duration("kill-at", time.Millisecond, "fault plane: when to kill the links")
@@ -168,6 +172,13 @@ func main() {
 	if visited["strict"] {
 		s.Strict = *strict
 	}
+	if visited["telemetry"] || visited["sample-interval"] {
+		us := int(*sampleInterval / time.Microsecond)
+		if us < 1 {
+			us = 1
+		}
+		s.Telemetry = &spec.TelemetrySpec{SampleUs: us}
+	}
 	if set("kill") {
 		if *kill > s.Spines {
 			fmt.Fprintf(os.Stderr, "rlbsim: -kill %d exceeds %d spines\n", *kill, s.Spines)
@@ -235,6 +246,10 @@ func main() {
 		nSeeds = 1
 	}
 	if nSeeds > 1 {
+		if *telemetryOut != "" {
+			fmt.Fprintln(os.Stderr, "rlbsim: -telemetry records one run's time series; use -seeds 1")
+			os.Exit(2)
+		}
 		runAveraged(s, nSeeds)
 		return
 	}
@@ -288,6 +303,14 @@ func main() {
 		fmt.Printf("rlb picks:  %d total, %d warned, %d reroutes, %d recircs (+%d order, %d sticky), %d orderstay, %d staycheap, %d fallback\n",
 			a.PicksTotal, a.PicksWarned, a.Reroutes, a.Recircs, a.OrderRecircs, a.DivertSticky, a.OrderStays, a.StayCheaper, a.Fallbacks)
 	}
+	if *telemetryOut != "" {
+		if err := writeTelemetry(*telemetryOut, res.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, "rlbsim:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("telemetry:  %d probes x %d samples (%d dropped) -> %s\n",
+			len(res.Telemetry.Names), len(res.Telemetry.Times), res.Telemetry.Dropped, *telemetryOut)
+	}
 	fmt.Printf("wall:       %s for %v simulated\n", res.Wall.Round(time.Millisecond), res.SimTime)
 	if *fingerprint {
 		fmt.Printf("fingerprint: %s\n", harness.Fingerprint(res))
@@ -297,6 +320,23 @@ func main() {
 		fmt.Printf("last %d control-plane events:\n", buf.Len())
 		_ = buf.Dump(os.Stdout)
 	}
+}
+
+// writeTelemetry writes a recording to path, choosing the format from the
+// extension (.csv = wide CSV, anything else = JSONL).
+func writeTelemetry(path string, rec *telemetry.Recording) error {
+	if rec == nil {
+		return fmt.Errorf("telemetry: run produced no recording")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return telemetry.WriteCSV(f, rec)
+	}
+	return telemetry.WriteJSONL(f, rec)
 }
 
 // runAveraged executes the spec at n consecutive seed offsets (the CLI's

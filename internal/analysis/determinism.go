@@ -13,7 +13,7 @@ var simPackages = []string{
 	"internal/sim", "internal/fabric", "internal/switchsim", "internal/transport",
 	"internal/dcqcn", "internal/core", "internal/lb", "internal/topo",
 	"internal/workload", "internal/harness", "internal/scenario", "internal/spec",
-	"internal/flatmap",
+	"internal/flatmap", "internal/telemetry",
 }
 
 // concurrencyAllowed are packages exempt from the goroutine/select rule:

@@ -247,3 +247,16 @@ func (m *Map[K, V]) Range(fn func(k K, v V)) {
 		fn(k, m.vals[i])
 	}
 }
+
+// Scan calls fn for every entry in slot order without allocating. Slot order
+// depends on the table's probe layout, so Scan is only for order-insensitive
+// consumers — commutative folds like telemetry sums and invariant totals.
+// Anything whose result feeds back into an event schedule must use Range or
+// Keys instead.
+func (m *Map[K, V]) Scan(fn func(k K, v V)) {
+	for i, u := range m.used {
+		if u {
+			fn(m.keys[i], m.vals[i])
+		}
+	}
+}

@@ -145,6 +145,39 @@ func TestKeysSortedRegardlessOfHistory(t *testing.T) {
 	}
 }
 
+func TestScanVisitsAllWithoutAllocating(t *testing.T) {
+	var m U32[int64]
+	var wantSum int64
+	for k := uint32(0); k < 500; k++ {
+		m.Put(k, int64(k))
+		wantSum += int64(k)
+	}
+	for k := uint32(400); k < 500; k++ {
+		m.Delete(k)
+		wantSum -= int64(k)
+	}
+	var sum int64
+	n := 0
+	scan := func() {
+		sum, n = 0, 0
+		m.Scan(func(k uint32, v int64) {
+			if int64(k) != v {
+				t.Fatalf("Scan entry %d carries value %d", k, v)
+			}
+			sum += v
+			n++
+		})
+	}
+	if avg := testing.AllocsPerRun(100, scan); avg != 0 {
+		t.Fatalf("Scan allocates %.2f allocs/op, want 0", avg)
+	}
+	if n != 400 || sum != wantSum {
+		t.Fatalf("Scan visited %d entries summing %d, want 400 summing %d", n, sum, wantSum)
+	}
+	var empty U32[int64]
+	empty.Scan(func(uint32, int64) { t.Fatal("Scan on empty table called fn") })
+}
+
 func TestZeroValueReady(t *testing.T) {
 	var m U32[int]
 	if _, ok := m.Get(42); ok {

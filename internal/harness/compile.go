@@ -127,7 +127,18 @@ func validateShape(s spec.Spec) error {
 			return fmt.Errorf("unknown scheduler %q (valid: calendar, heap)", s.Scheduler)
 		}
 	}
+	if s.Telemetry != nil && s.Telemetry.SampleUs < 1 {
+		return fmt.Errorf("telemetry sampleUs %d: need >= 1", s.Telemetry.SampleUs)
+	}
 	return nil
+}
+
+// specTelemetry returns the spec's sampling interval (0 = telemetry off).
+func specTelemetry(s spec.Spec) sim.Time {
+	if s.Telemetry == nil {
+		return 0
+	}
+	return usTime(s.Telemetry.SampleUs)
 }
 
 // compileFabric builds the config for the fabric and repeated-incast kinds.
@@ -222,6 +233,7 @@ func compileFabric(s spec.Spec) (RunConfig, error) {
 		StrictInvariants: s.Strict,
 		Context:          s.Params(),
 		Seed:             s.SimSeed,
+		Telemetry:        specTelemetry(s),
 	}, nil
 }
 
@@ -250,6 +262,7 @@ func compileIncastReps(s spec.Spec, sc Scale, p topo.Params) RunConfig {
 		KeepNetwork:      true,
 		StrictInvariants: s.Strict,
 		Context:          s.Params(),
+		Telemetry:        specTelemetry(s),
 		Inject: func(n *topo.Network) {
 			r := rng.New(seed + 31)
 			numHosts := len(n.Hosts)
@@ -313,6 +326,7 @@ func compileMotivation(s spec.Spec) (RunConfig, error) {
 		cfg.Topo.Scheduler = kind
 	}
 	cfg.Context = s.Params()
+	cfg.Telemetry = specTelemetry(s)
 	return cfg, nil
 }
 

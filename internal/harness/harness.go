@@ -16,6 +16,7 @@ import (
 	"github.com/rlb-project/rlb/internal/metrics"
 	"github.com/rlb-project/rlb/internal/rng"
 	"github.com/rlb-project/rlb/internal/sim"
+	"github.com/rlb-project/rlb/internal/telemetry"
 	"github.com/rlb-project/rlb/internal/topo"
 	"github.com/rlb-project/rlb/internal/workload"
 )
@@ -56,6 +57,12 @@ type RunConfig struct {
 	// load, fault count); scenario generators pass their full parameter set.
 	Context string
 	Seed    uint64
+	// Telemetry, when nonzero, samples the network's probe set at this
+	// interval and attaches the recorded series to Result.Telemetry.
+	// Sampling is observation-only — probes read state, the sampler's
+	// events shift no other event's relative order — so every figure and
+	// fingerprint is bit-identical with telemetry on or off.
+	Telemetry sim.Time
 }
 
 // Result captures one simulation's outcome.
@@ -83,6 +90,9 @@ type Result struct {
 	InvariantChecks uint64
 	// Network is only retained when RunConfig.KeepNetwork is set.
 	Network *topo.Network
+	// Telemetry holds the sampled probe series when RunConfig.Telemetry was
+	// set (nil otherwise).
+	Telemetry *telemetry.Recording
 }
 
 // PauseRatePerMs returns PAUSE frames per simulated millisecond.
@@ -142,7 +152,21 @@ func Run(cfg RunConfig) *Result {
 		cfg.Inject(n)
 	}
 
+	var samp *telemetry.Sampler
+	if cfg.Telemetry > 0 {
+		reg := telemetry.NewRegistry()
+		n.AttachTelemetry(reg)
+		// One tick at t=0, one per interval through Duration+Drain, plus one
+		// slot of slack for the boundary tick.
+		capacity := int((cfg.Duration+cfg.Drain)/cfg.Telemetry) + 2
+		samp = telemetry.NewSampler(n.Eng, reg, cfg.Telemetry, capacity)
+		samp.Start()
+	}
+
 	n.Run(cfg.Duration + cfg.Drain)
+	if samp != nil {
+		samp.Stop()
+	}
 	n.StopRLB()
 	n.AuditInvariants()
 
@@ -159,6 +183,9 @@ func Run(cfg RunConfig) *Result {
 		InvariantChecks: checker.Checks(),
 	}
 	totalEvents.Add(res.Events)
+	if samp != nil {
+		res.Telemetry = samp.Recording()
+	}
 	if cfg.KeepNetwork {
 		res.Network = n
 	}

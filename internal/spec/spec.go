@@ -122,6 +122,13 @@ type Spec struct {
 	// 2 leaves x Motiv.Spines, host count derived from Motiv.Hosts).
 	Motiv *MotivSpec `json:"motiv,omitempty"`
 
+	// Telemetry, when non-nil, samples the run's probe set (switch queues,
+	// PFC pause state, DCQCN rates, host transport state, RLB counters)
+	// every SampleUs microseconds and attaches the series to the result.
+	// Sampling is observation-only: results are bit-identical with the
+	// block present or absent.
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+
 	// LeakPutEvery is deliberate fault injection for the seeded-breach
 	// meta-test: every Nth packet returned to the pool is silently leaked
 	// (fabric.Pool.LeakEvery), which the strict packet-pool conservation
@@ -145,6 +152,12 @@ type MotivSpec struct {
 	// BgLoadPct is the background senders' offered load percent (0 = the
 	// scenario default, 55%).
 	BgLoadPct int `json:"bgLoadPct,omitempty"`
+}
+
+// TelemetrySpec configures run-time telemetry sampling.
+type TelemetrySpec struct {
+	// SampleUs is the sampling interval in microseconds (>= 1).
+	SampleUs int `json:"sampleUs"`
 }
 
 // FaultSpec is one fault window on leaf-spine link (Leaf, Spine): a kill
@@ -176,6 +189,10 @@ func (s Spec) Clone() Spec {
 	if s.Motiv != nil {
 		m := *s.Motiv
 		c.Motiv = &m
+	}
+	if s.Telemetry != nil {
+		t := *s.Telemetry
+		c.Telemetry = &t
 	}
 	return c
 }
@@ -231,8 +248,8 @@ func (s Spec) DrainFloorUs() int {
 // drain above the completion floor.
 //
 // Fields outside the generator's sampled surface — the figure-only knobs
-// (Motiv, IncastReps, PFCOff, SelectiveRepeat, probes, RLB ablations,
-// scheduler/strict/seeds overrides) — are cleared: the envelope's theorems
+// (Motiv, IncastReps, PFCOff, SelectiveRepeat, probes, telemetry, RLB
+// ablations, scheduler/strict/seeds overrides) — are cleared: the envelope's theorems
 // (losslessness, completion) are calibrated without them, and the property
 // runner supplies its own strictness and scheduler choices. Figure grids
 // deliberately live outside this envelope and are never normalized.
@@ -248,6 +265,7 @@ func (s Spec) Normalize() Spec {
 	s.Scheduler = ""
 	s.Strict = false
 	s.Seeds = 0
+	s.Telemetry = nil
 
 	s.Leaves = clampInt(s.Leaves, 2, 4)
 	s.Spines = clampInt(s.Spines, 2, 6)
@@ -367,6 +385,9 @@ func (s Spec) Params() string {
 	}
 	if s.Scheduler != "" {
 		out += " sched=" + s.Scheduler
+	}
+	if s.Telemetry != nil {
+		out += fmt.Sprintf(" telem=%dus", s.Telemetry.SampleUs)
 	}
 	if s.LeakPutEvery > 0 {
 		out += fmt.Sprintf(" leak-every=%d", s.LeakPutEvery)

@@ -35,17 +35,30 @@ func newReceiver(h *Host, f *Flow) *receiver {
 func (r *receiver) onData(pkt *fabric.Packet) {
 	f := r.f
 	f.PktsRcvd++
+	if f.Done {
+		// Straggler or retransmission of a completed flow: re-ACK so a
+		// sender whose completion ACK was lost can finish instead of
+		// spinning on RTO, and never emit a CNP — throttling a sender with
+		// nothing left to send only delays its other flows.
+		f.Dups++
+		r.h.sendControl(fabric.Ack, f.ID, f.Src, r.expected)
+		return
+	}
 	if pkt.CE {
 		r.maybeCNP()
-	}
-	if f.Done {
-		return
 	}
 	seq := pkt.Seq
 	switch {
 	case seq == r.expected:
 		r.advance()
 	case seq > r.expected:
+		// A duplicate of an already-buffered arrival is not new reordering:
+		// counting it into OOOPkts/MaxOOD would inflate the paper's OOD
+		// metrics with retransmission artifacts.
+		if r.useReseq && r.reseq.Has(seq) {
+			f.Dups++
+			return
+		}
 		ood := seq - r.expected
 		f.OOOPkts++
 		if ood > f.MaxOOD {
@@ -56,10 +69,6 @@ func (r *receiver) onData(pkt *fabric.Packet) {
 		}
 		if r.h.Cfg.SelectiveRepeat {
 			// IRN: keep the arrival, request only the missing packet.
-			if r.reseq.Has(seq) {
-				f.Dups++
-				return
-			}
 			r.reseq.Put(seq, struct{}{})
 			if r.lastNakFor != r.expected {
 				r.lastNakFor = r.expected
@@ -78,9 +87,10 @@ func (r *receiver) onData(pkt *fabric.Packet) {
 		}
 	default:
 		// Duplicate from a rewind whose original eventually arrived; re-ACK
-		// so the sender's cumulative state advances.
+		// (on the first duplicate, then every AckEvery-th) so the sender's
+		// cumulative state advances even when AckEvery == 1.
 		f.Dups++
-		if f.Dups%uint64(r.h.Cfg.AckEvery) == 1 {
+		if (f.Dups-1)%uint64(r.h.Cfg.AckEvery) == 0 {
 			r.h.sendControl(fabric.Ack, f.ID, f.Src, r.expected)
 		}
 	}

@@ -1,0 +1,37 @@
+package transport
+
+// HostSnapshot is the host-level transport state exposed to the telemetry
+// layer, aggregated across the host's active (not yet finished) senders.
+type HostSnapshot struct {
+	// ActiveSenders is the number of flows still transmitting from here.
+	ActiveSenders int64
+	// Inflight is the total sent-but-unacknowledged packet count
+	// (sum of next - una).
+	Inflight int64
+	// Una is the sum of the lowest-unacknowledged sequences.
+	Una int64
+	// Next is the sum of the next-to-transmit sequences.
+	Next int64
+	// RateBps is the total DCQCN-allowed sending rate in bits per second
+	// (line rate for flows without congestion control).
+	RateBps int64
+}
+
+// TelemetrySnapshot folds the host's sender tables into a HostSnapshot. It
+// is a probe body: read-only, allocation-free, and order-insensitive — the
+// sums commute, so the flat tables' slot-order Scan is safe. Called between
+// events by the telemetry sampler, never from the per-packet path.
+func (h *Host) TelemetrySnapshot() HostSnapshot {
+	var snap HostSnapshot
+	h.senders.Scan(func(_ uint32, s *sender) {
+		if s.done {
+			return
+		}
+		snap.ActiveSenders++
+		snap.Inflight += int64(s.next) - int64(s.una)
+		snap.Una += int64(s.una)
+		snap.Next += int64(s.next)
+		snap.RateBps += int64(s.rate())
+	})
+	return snap
+}

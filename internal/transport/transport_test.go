@@ -15,6 +15,8 @@ type middlebox struct {
 	ports [2]*fabric.Port
 	// hook returns (forward, extraDelay). forward=false drops the frame.
 	hook func(pkt *fabric.Packet) (bool, sim.Time)
+	// hookCtrl filters control frames (Ack/Nak/CNP); false drops the frame.
+	hookCtrl func(pkt *fabric.Packet) bool
 	// hookAll observes every frame in both directions (control included).
 	hookAll func(pkt *fabric.Packet)
 }
@@ -42,6 +44,9 @@ func (m *middlebox) Receive(pkt *fabric.Packet, in *fabric.Port) {
 			m.eng.After(delay, func() { out.Enqueue(pkt) })
 			return
 		}
+	}
+	if pkt.Type != fabric.Data && m.hookCtrl != nil && !m.hookCtrl(pkt) {
+		return
 	}
 	out.Enqueue(pkt)
 }

@@ -14,9 +14,12 @@
 #                    compiler/Scale threshold agreement, figure-grid golden,
 #                    committed corpus + repro fixture decode (TESTING.md
 #                    "Spec round-trip tier")
-#   6. fuzz smoke  — metamorphic scenario sweep + seeded-breach meta-test +
+#   6. telemetry   — observation-only contract: fingerprints bit-identical
+#                    with sampling on/off, JSONL golden byte-stable, sampler
+#                    tick allocation-free (TESTING.md "Telemetry tier")
+#   7. fuzz smoke  — metamorphic scenario sweep + seeded-breach meta-test +
 #                    time-boxed mutating fuzz over the committed corpus
-#   7. bench gate  — figure/scale events/sec vs the committed BENCH_PR9.json
+#   8. bench gate  — figure/scale events/sec vs the committed BENCH_PR10.json
 #                    (±10%), on by default; RLB_BENCH_GATE=0 opts out. The
 #                    committed record is copied next to simlint.jsonl as an
 #                    artifact.
@@ -58,6 +61,12 @@ make bench-smoke
 echo "==> spec verify (round trips, compiler math, grid golden, corpus)"
 make spec-verify
 
+# The telemetry tests also ran inside `go test ./...`; the dedicated tier
+# re-runs them uncached so a cached pass can never mask a drifted telemetry
+# golden, a fingerprint divergence, or a sampler tick that started allocating.
+echo "==> telemetry verify (on/off parity, JSONL golden, zero-alloc tick)"
+make telemetry-verify
+
 # The deterministic halves of the fuzz tier (sweep + meta-test) already ran
 # inside `go test ./...`; re-running them here is cheap and keeps the tier
 # self-contained when invoked standalone. The -fuzztime bound keeps the
@@ -66,15 +75,15 @@ make spec-verify
 echo "==> fuzz smoke (metamorphic sweep + seeded breach + 20s mutation)"
 make fuzz-smoke
 
-# Perf regression gate: events/sec vs the committed BENCH_PR9.json (±10%),
+# Perf regression gate: events/sec vs the committed BENCH_PR10.json (±10%),
 # on by default now that the data plane is gated on staying map- and
 # allocation-free. Wall-clock sensitive — set RLB_BENCH_GATE=0 to opt out on
 # a noisy machine or one that does not match where the record was captured.
 # The committed record ships as an artifact next to simlint.jsonl either way.
-cp BENCH_PR9.json "$ARTIFACT_DIR/BENCH_PR9.json"
-echo "    bench record artifact: $ARTIFACT_DIR/BENCH_PR9.json"
+cp BENCH_PR10.json "$ARTIFACT_DIR/BENCH_PR10.json"
+echo "    bench record artifact: $ARTIFACT_DIR/BENCH_PR10.json"
 if [ "${RLB_BENCH_GATE:-1}" = "1" ]; then
-	echo "==> bench gate (events/sec vs BENCH_PR9.json)"
+	echo "==> bench gate (events/sec vs BENCH_PR10.json)"
 	make bench-gate
 fi
 
